@@ -1,0 +1,109 @@
+//! The aggregation interface shared by all approaches.
+//!
+//! An [`Aggregator`] turns the votes collected for every microtask into a
+//! final answer per task. Majority voting lives here; Dawid–Skene EM and
+//! probabilistic verification implement the same trait in their own
+//! modules.
+
+use icrowd_core::answer::{Answer, Vote};
+use icrowd_core::task::TaskId;
+use icrowd_core::voting::majority_vote;
+
+/// All votes for one microtask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskVotes {
+    /// The microtask.
+    pub task: TaskId,
+    /// Votes in arrival order.
+    pub votes: Vec<Vote>,
+}
+
+/// Maps collected votes to final answers.
+pub trait Aggregator {
+    /// Human-readable name for experiment output.
+    fn name(&self) -> &str;
+
+    /// Aggregates `votes` over `num_tasks` tasks, each with
+    /// `num_choices` possible answers. Returns one entry per task id
+    /// (`None` when a task has no votes at all).
+    ///
+    /// `votes` need not mention every task and may list tasks in any
+    /// order, but must not repeat a task.
+    fn aggregate(
+        &self,
+        num_tasks: usize,
+        num_choices: u8,
+        votes: &[TaskVotes],
+    ) -> Vec<Option<Answer>>;
+}
+
+/// Plain majority voting (the RandomMV aggregation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityAggregator;
+
+impl Aggregator for MajorityAggregator {
+    fn name(&self) -> &str {
+        "MajorityVote"
+    }
+
+    fn aggregate(
+        &self,
+        num_tasks: usize,
+        num_choices: u8,
+        votes: &[TaskVotes],
+    ) -> Vec<Option<Answer>> {
+        let mut out = vec![None; num_tasks];
+        for tv in votes {
+            debug_assert!(
+                out[tv.task.index()].is_none(),
+                "task {} appears twice",
+                tv.task
+            );
+            out[tv.task.index()] = majority_vote(&tv.votes, num_choices).map(|o| o.answer);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::worker::WorkerId;
+
+    fn vote(w: u32, a: u8) -> Vote {
+        Vote {
+            worker: WorkerId(w),
+            answer: Answer(a),
+        }
+    }
+
+    #[test]
+    fn majority_aggregator_covers_all_tasks() {
+        let votes = vec![
+            TaskVotes {
+                task: TaskId(0),
+                votes: vec![vote(0, 1), vote(1, 1), vote(2, 0)],
+            },
+            TaskVotes {
+                task: TaskId(2),
+                votes: vec![vote(0, 0)],
+            },
+        ];
+        let agg = MajorityAggregator;
+        let out = agg.aggregate(3, 2, &votes);
+        assert_eq!(out[0], Some(Answer::YES));
+        assert_eq!(out[1], None, "unvoted task stays unanswered");
+        assert_eq!(out[2], Some(Answer::NO));
+        assert_eq!(agg.name(), "MajorityVote");
+    }
+
+    #[test]
+    fn empty_vote_lists_yield_none() {
+        let votes = vec![TaskVotes {
+            task: TaskId(0),
+            votes: vec![],
+        }];
+        let out = MajorityAggregator.aggregate(1, 2, &votes);
+        assert_eq!(out[0], None);
+    }
+}

@@ -1,0 +1,216 @@
+//! AvgAccPV — gold-injected average accuracy + probabilistic
+//! verification (the CDAS approach of Liu et al., PVLDB 2012, which the
+//! paper uses as its third baseline).
+//!
+//! * [`GoldAccuracyTracker`] estimates one *average* accuracy per worker
+//!   from her answers to injected gold (ground-truth) tasks — exactly the
+//!   quantity the paper argues is too coarse for domain-diverse workers.
+//! * [`probabilistic_verification`] aggregates a vote set under the
+//!   naive-Bayes model: `P(answer = a) ∝ Π_{w voted a} p_w · Π_{w voted
+//!   a' ≠ a} (1 − p_w) / (k − 1)`, choosing the answer with the highest
+//!   posterior and reporting its confidence.
+
+use icrowd_core::answer::{Answer, Vote};
+use icrowd_core::worker::WorkerId;
+
+use crate::aggregate::{Aggregator, TaskVotes};
+
+/// Tracks per-worker average accuracy from gold-task answers, with a
+/// Laplace prior so unseen workers start at 0.5.
+#[derive(Debug, Clone, Default)]
+pub struct GoldAccuracyTracker {
+    /// `(correct, total)` per worker index.
+    counts: Vec<(u32, u32)>,
+}
+
+impl GoldAccuracyTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a gold-task answer.
+    pub fn record(&mut self, worker: WorkerId, answer: Answer, ground_truth: Answer) {
+        if self.counts.len() <= worker.index() {
+            self.counts.resize(worker.index() + 1, (0, 0));
+        }
+        let (c, t) = &mut self.counts[worker.index()];
+        *t += 1;
+        if answer == ground_truth {
+            *c += 1;
+        }
+    }
+
+    /// The Laplace-smoothed average accuracy `(correct + 1) / (total + 2)`.
+    pub fn accuracy(&self, worker: WorkerId) -> f64 {
+        match self.counts.get(worker.index()) {
+            Some(&(c, t)) => f64::from(c + 1) / f64::from(t + 2),
+            None => 0.5,
+        }
+    }
+
+    /// Raw `(correct, total)` counts.
+    pub fn counts(&self, worker: WorkerId) -> (u32, u32) {
+        self.counts.get(worker.index()).copied().unwrap_or((0, 0))
+    }
+
+    /// Whether the worker falls below `threshold` after at least
+    /// `min_answers` gold answers (CDAS-style bad-worker elimination).
+    pub fn is_eliminated(&self, worker: WorkerId, threshold: f64, min_answers: u32) -> bool {
+        let (c, t) = self.counts(worker);
+        t >= min_answers && (f64::from(c) / f64::from(t)) < threshold
+    }
+}
+
+/// Probabilistic-verification aggregation of one vote set.
+///
+/// `accuracy` supplies each voter's (average) accuracy. Returns the MAP
+/// answer and its posterior probability; `None` for an empty vote set.
+/// Accuracies are clamped to `[0.01, 0.99]` to keep posteriors finite.
+/// (Thin wrapper over [`icrowd_core::probability::vote_posterior`], the
+/// canonical naive-Bayes vote model.)
+pub fn probabilistic_verification(
+    votes: &[Vote],
+    num_choices: u8,
+    accuracy: impl FnMut(WorkerId) -> f64,
+) -> Option<(Answer, f64)> {
+    icrowd_core::probability::vote_posterior(votes, num_choices, accuracy)
+}
+
+/// The AvgAccPV aggregator: probabilistic verification weighted by
+/// gold-estimated average accuracies.
+#[derive(Debug, Clone)]
+pub struct PvAggregator {
+    tracker: GoldAccuracyTracker,
+}
+
+impl PvAggregator {
+    /// Wraps a populated gold-accuracy tracker.
+    pub fn new(tracker: GoldAccuracyTracker) -> Self {
+        Self { tracker }
+    }
+
+    /// The underlying tracker.
+    pub fn tracker(&self) -> &GoldAccuracyTracker {
+        &self.tracker
+    }
+}
+
+impl Aggregator for PvAggregator {
+    fn name(&self) -> &str {
+        "AvgAccPV"
+    }
+
+    fn aggregate(
+        &self,
+        num_tasks: usize,
+        num_choices: u8,
+        votes: &[TaskVotes],
+    ) -> Vec<Option<Answer>> {
+        let mut out = vec![None; num_tasks];
+        for tv in votes {
+            out[tv.task.index()] =
+                probabilistic_verification(&tv.votes, num_choices, |w| self.tracker.accuracy(w))
+                    .map(|(a, _)| a);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::TaskId;
+
+    fn vote(w: u32, a: u8) -> Vote {
+        Vote {
+            worker: WorkerId(w),
+            answer: Answer(a),
+        }
+    }
+
+    #[test]
+    fn tracker_smooths_and_records() {
+        let mut tr = GoldAccuracyTracker::new();
+        assert_eq!(tr.accuracy(WorkerId(0)), 0.5, "prior for unseen workers");
+        tr.record(WorkerId(0), Answer::YES, Answer::YES);
+        tr.record(WorkerId(0), Answer::YES, Answer::NO);
+        tr.record(WorkerId(0), Answer::NO, Answer::NO);
+        // 2 correct of 3 → (2+1)/(3+2).
+        assert!((tr.accuracy(WorkerId(0)) - 0.6).abs() < 1e-12);
+        assert_eq!(tr.counts(WorkerId(0)), (2, 3));
+    }
+
+    #[test]
+    fn elimination_threshold() {
+        let mut tr = GoldAccuracyTracker::new();
+        for _ in 0..5 {
+            tr.record(WorkerId(0), Answer::YES, Answer::NO);
+        }
+        assert!(tr.is_eliminated(WorkerId(0), 0.6, 5));
+        assert!(!tr.is_eliminated(WorkerId(0), 0.6, 6), "needs min answers");
+        assert!(!tr.is_eliminated(WorkerId(1), 0.6, 1), "unseen workers stay");
+    }
+
+    #[test]
+    fn reliable_minority_overrides_majority() {
+        // One 95% worker votes YES; two 40% workers vote NO.
+        let votes = vec![vote(0, 1), vote(1, 0), vote(2, 0)];
+        let acc = |w: WorkerId| match w.0 {
+            0 => 0.95,
+            _ => 0.40,
+        };
+        let (ans, conf) = probabilistic_verification(&votes, 2, acc).unwrap();
+        assert_eq!(ans, Answer::YES);
+        assert!(conf > 0.5);
+    }
+
+    #[test]
+    fn symmetric_votes_at_even_accuracy_are_a_coin_flip() {
+        let votes = vec![vote(0, 1), vote(1, 0)];
+        let (_, conf) = probabilistic_verification(&votes, 2, |_| 0.7).unwrap();
+        assert!((conf - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_grows_with_agreement() {
+        let two = vec![vote(0, 1), vote(1, 1)];
+        let three = vec![vote(0, 1), vote(1, 1), vote(2, 1)];
+        let (_, c2) = probabilistic_verification(&two, 2, |_| 0.8).unwrap();
+        let (_, c3) = probabilistic_verification(&three, 2, |_| 0.8).unwrap();
+        assert!(c3 > c2);
+    }
+
+    #[test]
+    fn multi_choice_spreads_error_mass() {
+        // One voter at accuracy 0.7 over 3 choices: the two wrong answers
+        // share the remaining 0.3.
+        let votes = vec![vote(0, 2)];
+        let (ans, conf) = probabilistic_verification(&votes, 3, |_| 0.7).unwrap();
+        assert_eq!(ans, Answer(2));
+        assert!((conf - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregator_trait_wiring() {
+        let mut tr = GoldAccuracyTracker::new();
+        for _ in 0..9 {
+            tr.record(WorkerId(0), Answer::YES, Answer::YES); // expert
+            tr.record(WorkerId(1), Answer::YES, Answer::NO); // spammer
+            tr.record(WorkerId(2), Answer::YES, Answer::NO); // spammer
+        }
+        let agg = PvAggregator::new(tr);
+        let votes = vec![TaskVotes {
+            task: TaskId(0),
+            votes: vec![vote(0, 1), vote(1, 0), vote(2, 0)],
+        }];
+        let out = agg.aggregate(1, 2, &votes);
+        assert_eq!(out[0], Some(Answer::YES), "the expert outvotes two spammers");
+        assert_eq!(agg.name(), "AvgAccPV");
+    }
+
+    #[test]
+    fn empty_votes_yield_none() {
+        assert!(probabilistic_verification(&[], 2, |_| 0.5).is_none());
+    }
+}

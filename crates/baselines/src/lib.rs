@@ -1,0 +1,33 @@
+//! # icrowd-baselines
+//!
+//! The baseline crowdsourcing approaches iCrowd is evaluated against
+//! (Section 6.1 of the paper), plus the alternative assignment strategies
+//! of Section 6.3.2:
+//!
+//! * **RandomMV** — random assignment + majority voting
+//!   ([`aggregate::MajorityAggregator`] + [`pickers::random_pick`]).
+//! * **RandomEM** — random assignment + Dawid–Skene
+//!   expectation-maximization ([`dawid_skene::DawidSkene`]).
+//! * **AvgAccPV** — gold-injected average-accuracy estimation
+//!   ([`avgacc::GoldAccuracyTracker`]) + the CDAS probabilistic
+//!   verification aggregation ([`avgacc::probabilistic_verification`]).
+//! * **QF-Only** / **BestEffort** — strategy building blocks in
+//!   [`pickers`]; the campaign runner in `icrowd-sim` wires them to the
+//!   shared estimator.
+//!
+//! Everything here is *pure*: aggregators map vote sets to answers,
+//! pickers map a worker's view of the task pool to a choice. Platform
+//! wiring lives upstream.
+
+#![warn(missing_docs)]
+#![warn(clippy::dbg_macro)]
+
+pub mod aggregate;
+pub mod avgacc;
+pub mod dawid_skene;
+pub mod pickers;
+
+pub use aggregate::{Aggregator, MajorityAggregator, TaskVotes};
+pub use avgacc::{probabilistic_verification, GoldAccuracyTracker, PvAggregator};
+pub use dawid_skene::{DawidSkene, DawidSkeneFit};
+pub use pickers::{best_effort_pick, random_pick};

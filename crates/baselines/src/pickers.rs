@@ -1,0 +1,90 @@
+//! Task-picking building blocks for the baseline assignment strategies.
+//!
+//! * [`random_pick`] — the random assignment of RandomMV / RandomEM:
+//!   uniformly choose an eligible task.
+//! * [`best_effort_pick`] — the BestEffort strategy of Section 6.3.2:
+//!   give the requesting worker the eligible task with *her* highest
+//!   estimated accuracy, ignoring whether better workers exist for it
+//!   (the paper shows this myopia is what holds BestEffort back).
+//!
+//! The QF-Only strategy needs no picker of its own: it is iCrowd's
+//! adaptive assigner run against an estimator frozen after warm-up; the
+//! campaign runner wires that by simply not feeding consensus updates to
+//! the estimator.
+
+use icrowd_core::task::TaskId;
+use rand::Rng;
+
+/// Uniformly picks one of the eligible tasks. Returns `None` when
+/// `eligible` is empty.
+pub fn random_pick<R: Rng>(eligible: &[TaskId], rng: &mut R) -> Option<TaskId> {
+    if eligible.is_empty() {
+        None
+    } else {
+        Some(eligible[rng.gen_range(0..eligible.len())])
+    }
+}
+
+/// Picks the eligible task on which the requesting worker's estimated
+/// accuracy is highest (ties toward the smaller task id). `accuracy`
+/// maps a task to the worker's estimate.
+pub fn best_effort_pick(
+    eligible: &[TaskId],
+    mut accuracy: impl FnMut(TaskId) -> f64,
+) -> Option<TaskId> {
+    eligible
+        .iter()
+        .map(|&t| (t, accuracy(t)))
+        .max_by(|(ta, a), (tb, b)| a.partial_cmp(b).unwrap().then(tb.cmp(ta)))
+        .map(|(t, _)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn random_pick_is_uniformish_and_seeded() {
+        let eligible = vec![t(0), t(1), t(2), t(3)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[random_pick(&eligible, &mut rng).unwrap().index()] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed counts {counts:?}");
+        }
+        // Determinism.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(random_pick(&eligible, &mut a), random_pick(&eligible, &mut b));
+    }
+
+    #[test]
+    fn random_pick_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(random_pick(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn best_effort_takes_the_workers_best_task() {
+        let eligible = vec![t(0), t(1), t(2)];
+        let accs = [0.4, 0.9, 0.6];
+        let pick = best_effort_pick(&eligible, |task| accs[task.index()]);
+        assert_eq!(pick, Some(t(1)));
+    }
+
+    #[test]
+    fn best_effort_ties_break_to_smaller_id() {
+        let eligible = vec![t(2), t(0), t(1)];
+        let pick = best_effort_pick(&eligible, |_| 0.7);
+        assert_eq!(pick, Some(t(0)));
+        assert_eq!(best_effort_pick(&[], |_| 0.7), None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Assignment kernel benchmarks: greedy (Algorithm 3) across instance
+//! sizes, exact branch-and-bound on small instances, and qualification
+//! selection (Algorithm 4 with CELF).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icrowd::assign::{
+    greedy_assign, optimal_assign, select_qualification_influence, top_worker_set, TopWorkerSet,
+};
+use icrowd::core::{PprConfig, TaskId, WorkerId};
+use icrowd::graph::{GraphBuilder, LinearityIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_sets(num_tasks: usize, num_workers: usize, k: usize, seed: u64) -> Vec<TopWorkerSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_tasks as u32)
+        .map(|t| {
+            let mut pool: Vec<u32> = (0..num_workers as u32).collect();
+            for j in 0..k.min(num_workers) {
+                let s = rng.gen_range(j..pool.len());
+                pool.swap(j, s);
+            }
+            let eligible: Vec<(WorkerId, f64)> = pool[..k.min(num_workers)]
+                .iter()
+                .map(|&w| (WorkerId(w), rng.gen_range(0.3..0.95)))
+                .collect();
+            top_worker_set(TaskId(t), eligible, k)
+        })
+        .collect()
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    group.sample_size(20);
+    for &(t, w) in &[(100usize, 25usize), (1_000, 50), (10_000, 100)] {
+        let sets = random_sets(t, w, 3, 11);
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{t}tasks_{w}workers")),
+            &sets,
+            |b, s| b.iter(|| greedy_assign(s)),
+        );
+    }
+    // Exact solver only on paper-scale instances (Table 5's 3-7 workers).
+    for &w in &[5usize, 7] {
+        let sets = random_sets(30, w, 3, 13);
+        group.bench_with_input(BenchmarkId::new("optimal", format!("{w}workers")), &sets, |b, s| {
+            b.iter(|| optimal_assign(s))
+        });
+    }
+
+    // Qualification selection over a blocky graph.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut edges: Vec<(TaskId, TaskId, f64)> = Vec::new();
+    for i in 0..2_000u32 {
+        for _ in 0..8 {
+            let j = rng.gen_range(0..2_000u32);
+            if j != i {
+                edges.push((TaskId(i), TaskId(j), rng.gen_range(0.5..1.0)));
+            }
+        }
+    }
+    let graph = GraphBuilder::new(0.5).build_from_edges(2_000, edges);
+    let index = LinearityIndex::build(&graph, 1.0, &PprConfig::default());
+    group.bench_function("qualification_selection_q10_2000tasks", |b| {
+        b.iter(|| select_qualification_influence(&index, 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! PPR engine benchmarks — the ablation behind Lemma 3.
+//!
+//! Compares, on a blocky similarity graph:
+//! * a full dense power-iteration solve per estimation request (what a
+//!   naive implementation of Equation (4) costs),
+//! * a sparse truncated solve, and
+//! * the linearity-index lookup (Algorithm 1's online path) — the paper's
+//!   design, orders of magnitude cheaper per request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icrowd::core::{PprConfig, TaskId};
+use icrowd::graph::{power_iteration, sparse_ppr, LinearityIndex, SimilarityGraph, SparseTaskVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A graph of `blocks` cliques of size `block_size` with sparse bridges.
+fn blocky_graph(blocks: usize, block_size: usize, seed: u64) -> SimilarityGraph {
+    let n = blocks * block_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for b in 0..blocks {
+        let base = (b * block_size) as u32;
+        for i in 0..block_size as u32 {
+            for j in (i + 1)..block_size as u32 {
+                edges.push((
+                    TaskId(base + i),
+                    TaskId(base + j),
+                    rng.gen_range(0.6..1.0),
+                ));
+            }
+        }
+    }
+    SimilarityGraph::from_edges(n, &edges)
+}
+
+fn bench_ppr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppr");
+    group.sample_size(10);
+    for &n_blocks in &[5usize, 20] {
+        let graph = blocky_graph(n_blocks, 20, 7);
+        let n = graph.num_tasks();
+        let config = PprConfig::default();
+        let mut q_dense = vec![0.0; n];
+        q_dense[0] = 1.0;
+        q_dense[n / 2] = 0.5;
+        let q_sparse = SparseTaskVector::from_pairs(vec![(0, 1.0), (n as u32 / 2, 0.5)]);
+
+        group.bench_with_input(
+            BenchmarkId::new("dense_power_iteration", n),
+            &n,
+            |b, _| b.iter(|| power_iteration(&graph, &q_dense, 1.0, &config)),
+        );
+        group.bench_with_input(BenchmarkId::new("sparse_ppr", n), &n, |b, _| {
+            b.iter(|| sparse_ppr(&graph, &q_sparse, 1.0, 1e-6, &config))
+        });
+
+        let index = LinearityIndex::build(&graph, 1.0, &config);
+        group.bench_with_input(BenchmarkId::new("linearity_lookup", n), &n, |b, _| {
+            b.iter(|| index.estimate_dense(&q_sparse))
+        });
+        group.bench_with_input(BenchmarkId::new("index_build", n), &n, |b, _| {
+            b.iter(|| LinearityIndex::build(&graph, 1.0, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppr);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The Figure-10 kernel as a criterion bench: per-request assignment
+//! cost vs task-set size under a capped candidate pool. Complements the
+//! `fig10` binary (which prints the paper-style series at full scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icrowd::core::{Answer, ICrowdConfig, PprConfig, Tick, WarmupConfig};
+use icrowd::platform::ExternalQuestionServer;
+use icrowd::{AssignStrategy, ICrowd, ICrowdBuilder};
+use icrowd::graph::GraphBuilder;
+use icrowd_sim::datasets::{scalability_edges, scalability_tasks};
+
+fn build_server(n: usize, cap: usize) -> ICrowd {
+    let tasks = scalability_tasks(n);
+    let edges = scalability_edges(n, cap, 42);
+    let graph = GraphBuilder::new(0.5)
+        .with_max_neighbors(cap)
+        .build_from_edges(n, edges);
+    ICrowdBuilder::new(tasks)
+        .config(ICrowdConfig {
+            warmup: WarmupConfig {
+                num_qualification: 10,
+                ..Default::default()
+            },
+            ppr: PprConfig {
+                index_epsilon: 1e-3,
+                max_iterations: 20,
+                tolerance: 1e-6,
+            },
+            ..Default::default()
+        })
+        .strategy(AssignStrategy::Adapt)
+        .graph(graph)
+        .candidate_limit(2_048)
+        .build()
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for &n in &[10_000usize, 40_000] {
+        let mut server = build_server(n, 20);
+        // Warm the pipeline: a few answered rounds so estimates exist.
+        let mut tick = 0u64;
+        for _ in 0..50 {
+            for w in 0..8 {
+                let name = format!("W{w}");
+                if let Some(t) = server.request_task(&name, Tick(tick)) {
+                    server.submit_answer(&name, t, Answer::YES, Tick(tick));
+                }
+                tick += 1;
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("request_and_submit", n), &n, |b, _| {
+            b.iter(|| {
+                for w in 0..8 {
+                    let name = format!("W{w}");
+                    if let Some(t) = server.request_task(&name, Tick(tick)) {
+                        server.submit_answer(&name, t, Answer::YES, Tick(tick));
+                    }
+                    tick += 1;
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Equation (1) ablation: Poisson-binomial DP vs literal subset
+//! enumeration for the worker-set accuracy `Pr(W_t)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icrowd::core::{worker_set_accuracy, worker_set_accuracy_enumerate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_voting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worker_set_accuracy");
+    let mut rng = StdRng::seed_from_u64(3);
+    for &k in &[3usize, 7, 15, 21] {
+        let probs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.3..0.95)).collect();
+        group.bench_with_input(BenchmarkId::new("dp", k), &probs, |b, p| {
+            b.iter(|| worker_set_accuracy(p))
+        });
+        if k <= 21 {
+            group.bench_with_input(BenchmarkId::new("enumerate", k), &probs, |b, p| {
+                b.iter(|| worker_set_accuracy_enumerate(p))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_voting);
+criterion_main!(benches);

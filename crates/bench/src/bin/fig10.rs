@@ -1,0 +1,150 @@
+//! Figure 10 — scalability of task assignment with simulation.
+//!
+//! The paper: "Initially the entire microtask set was empty. We inserted
+//! 0.2 million microtasks at each time and ran iCrowd to evaluate the
+//! efficiency", with the maximal neighbor count per microtask in
+//! {20, 40, 60} (neighbors drawn at random). We measure, per task-set
+//! size and neighbor cap:
+//!
+//! * offline index construction (graph + linearity index + qualification
+//!   selection), and
+//! * online assignment: total elapsed time of 1,000 `request_task`
+//!   calls from a 20-worker pool, with the candidate pool capped — the
+//!   paper's "effective index structures".
+//!
+//! The paper reports sub-linear growth of assignment time in `|T|`; the
+//! capped candidate pool reproduces that (per-request work is bounded by
+//! evidence neighborhoods, not `|T|`).
+//!
+//! Sizes default to the paper's 0.2M..1.0M; set `FIG10_SCALE=small` for
+//! a quick 20k..100k pass.
+
+use std::time::Instant;
+
+use icrowd::core::{Answer, ICrowdConfig, PprConfig, Tick, WarmupConfig};
+use icrowd::platform::ExternalQuestionServer;
+use icrowd::{AssignStrategy, ICrowdBuilder};
+use icrowd_graph::GraphBuilder;
+use icrowd_sim::datasets::{scalability_edges, scalability_tasks};
+
+fn main() {
+    // Child mode: run one (n, cap) configuration and print its row. The
+    // parent spawns a child per configuration so allocator high-water
+    // from one million-task graph never accumulates into the next.
+    let args: Vec<String> = std::env::args().collect();
+    if let [_, n, cap] = args.as_slice() {
+        run_one(n.parse().expect("n"), cap.parse().expect("cap"));
+        return;
+    }
+
+    let small = std::env::var("FIG10_SCALE").is_ok_and(|v| v == "small");
+    let sizes: Vec<usize> = if small {
+        vec![20_000, 40_000, 60_000, 80_000, 100_000]
+    } else {
+        vec![200_000, 400_000, 600_000, 800_000, 1_000_000]
+    };
+    let caps = [20usize, 40, 60];
+
+    println!("=== Figure 10: evaluating scalability with simulation ===");
+    println!(
+        "{:>12} {:>6} {:>18} {:>22} {:>16}",
+        "#microtasks", "cap", "index build (s)", "1000 assignments (ms)", "per request (us)"
+    );
+    let me = std::env::current_exe().expect("own path");
+    for &cap in &caps {
+        for &n in &sizes {
+            let status = std::process::Command::new(&me)
+                .arg(n.to_string())
+                .arg(cap.to_string())
+                .status()
+                .expect("spawn child");
+            if !status.success() {
+                println!("{n:>12} {cap:>6}   (child failed: {status})");
+            }
+        }
+    }
+}
+
+fn rss_mb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb / 1024)
+}
+
+fn run_one(n: usize, cap: usize) {
+    let debug_mem = std::env::var("FIG10_MEM").is_ok();
+    {
+        {
+            let tasks = scalability_tasks(n);
+            let edges = scalability_edges(n, cap, 42);
+            if debug_mem {
+                eprintln!("after edges: {} MB", rss_mb());
+            }
+            let graph = GraphBuilder::new(0.5)
+                .with_max_neighbors(cap)
+                .build_from_edges(n, edges);
+            if debug_mem {
+                eprintln!("after graph: {} MB", rss_mb());
+            }
+
+            let config = ICrowdConfig {
+                warmup: WarmupConfig {
+                    num_qualification: 10,
+                    ..Default::default()
+                },
+                ppr: PprConfig {
+                    index_epsilon: 1e-3,
+                    max_iterations: 20,
+                    tolerance: 1e-6,
+                },
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let mut server = ICrowdBuilder::new(tasks)
+                .config(config)
+                .strategy(AssignStrategy::Adapt)
+                .graph(graph)
+                .candidate_limit(2_048)
+                .build();
+            let build_s = t0.elapsed().as_secs_f64();
+            if debug_mem {
+                eprintln!("after server build: {} MB", rss_mb());
+            }
+
+            // 20 workers churn; measure request_task time only.
+            let mut assign_time = 0.0f64;
+            let mut requests = 0usize;
+            let mut tick = 0u64;
+            'outer: loop {
+                for w in 0..20 {
+                    let name = format!("W{w}");
+                    let t1 = Instant::now();
+                    let task = server.request_task(&name, Tick(tick));
+                    assign_time += t1.elapsed().as_secs_f64();
+                    requests += 1;
+                    if let Some(t) = task {
+                        server.submit_answer(&name, t, Answer::YES, Tick(tick));
+                    }
+                    tick += 1;
+                    if requests >= 1_000 {
+                        break 'outer;
+                    }
+                }
+            }
+            println!(
+                "{:>12} {:>6} {:>18.2} {:>22.1} {:>16.1}",
+                n,
+                cap,
+                build_s,
+                assign_time * 1e3,
+                assign_time * 1e6 / requests as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 8 — effect of adaptive assignment: QF-Only vs BestEffort vs
+//! Adapt.
+//!
+//! The paper reports QF-Only worst (estimates frozen after warm-up),
+//! BestEffort in between (adaptive estimates, myopic assignment) and
+//! Adapt best.
+
+use icrowd::AssignStrategy;
+use icrowd_bench::{averaged_campaign, print_accuracy_table};
+use icrowd_sim::campaign::{Approach, CampaignConfig};
+use icrowd_sim::datasets::{item_compare, yahooqa, Dataset};
+
+fn main() {
+    let config = CampaignConfig::default();
+    let datasets: [(&str, &dyn Fn(u64) -> Dataset); 2] =
+        [("YahooQA", &yahooqa), ("ItemCompare", &item_compare)];
+    for (name, make) in datasets {
+        let results: Vec<_> = [
+            AssignStrategy::QfOnly,
+            AssignStrategy::BestEffort,
+            AssignStrategy::Adapt,
+        ]
+        .into_iter()
+        .map(|s| {
+            let mut r = averaged_campaign(make, Approach::ICrowd(s), &config);
+            r.approach = s.name().to_owned();
+            r
+        })
+        .collect();
+        print_accuracy_table(
+            &format!("Figure 8: effect of adaptive assignment — {name}"),
+            &results,
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Table 4 — dataset statistics.
+
+use icrowd_sim::datasets::{item_compare, yahooqa};
+
+fn main() {
+    println!("=== Table 4: dataset statistics ===");
+    println!("{:<20} {:>10} {:>12}", "Dataset", "YahooQA", "ItemCompare");
+    let y = yahooqa(42).statistics();
+    let ic = item_compare(42).statistics();
+    println!("{:<20} {:>10} {:>12}", "# of microtasks", y.0, ic.0);
+    println!("{:<20} {:>10} {:>12}", "# of domains", y.1, ic.1);
+    println!("{:<20} {:>10} {:>12}", "# of workers", y.2, ic.2);
+}

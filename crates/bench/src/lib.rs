@@ -1,0 +1,151 @@
+//! # icrowd-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! iCrowd paper's evaluation (Section 6 and Appendix D). Each artefact
+//! is a binary: `cargo run --release -p icrowd-bench --bin fig9`.
+//!
+//! The paper ran each configuration once against the live AMT crowd; our
+//! crowd is stochastic, so every experiment averages a few seeds and
+//! reports the mean (the seed list is printed with each run).
+
+#![warn(missing_docs)]
+#![warn(clippy::dbg_macro)]
+
+use icrowd_sim::campaign::{run_campaign_with, Approach, CampaignConfig, CampaignResult};
+use icrowd_sim::datasets::Dataset;
+use icrowd_sim::metrics::DomainAccuracy;
+
+/// Seeds used by averaged experiments.
+pub const SEEDS: [u64; 5] = [42, 1337, 20150531, 7, 271828];
+
+/// Accuracy rows averaged over seeds: one entry per domain plus `ALL`.
+#[derive(Debug, Clone)]
+pub struct AveragedResult {
+    /// Approach name.
+    pub approach: String,
+    /// `(domain, mean accuracy)` pairs in domain order, then `("ALL", ..)`.
+    pub rows: Vec<(String, f64)>,
+}
+
+/// Runs `approach` on `dataset` across [`SEEDS`], sharing the graph and
+/// gold set per seed, and averages the per-domain accuracies.
+pub fn averaged_campaign(
+    make_dataset: &dyn Fn(u64) -> Dataset,
+    approach: Approach,
+    base: &CampaignConfig,
+) -> AveragedResult {
+    let mut sums: Vec<(String, f64)> = Vec::new();
+    let mut overall_sum = 0.0;
+    for &seed in &SEEDS {
+        let dataset = make_dataset(seed);
+        let config = CampaignConfig {
+            seed,
+            ..base.clone()
+        };
+        let graph = icrowd_sim::campaign::build_graph(&dataset, &config);
+        let gold = icrowd_sim::campaign::select_gold(&dataset, &graph, &config);
+        let r = run_campaign_with(&dataset, approach, &config, graph, gold);
+        accumulate(&mut sums, &r.per_domain);
+        overall_sum += r.overall;
+    }
+    let n = SEEDS.len() as f64;
+    let mut rows: Vec<(String, f64)> = sums.into_iter().map(|(d, s)| (d, s / n)).collect();
+    rows.push(("ALL".into(), overall_sum / n));
+    AveragedResult {
+        approach: approach.name(),
+        rows,
+    }
+}
+
+fn accumulate(sums: &mut Vec<(String, f64)>, per_domain: &[DomainAccuracy]) {
+    if sums.is_empty() {
+        *sums = per_domain
+            .iter()
+            .map(|d| (d.domain.clone(), 0.0))
+            .collect();
+    }
+    for (slot, d) in sums.iter_mut().zip(per_domain) {
+        debug_assert_eq!(slot.0, d.domain);
+        slot.1 += d.accuracy();
+    }
+}
+
+/// Averages full campaign results (answers, spend, ...) over [`SEEDS`]
+/// for experiments that need more than accuracies.
+pub fn campaigns_over_seeds(
+    make_dataset: &dyn Fn(u64) -> Dataset,
+    approach: Approach,
+    base: &CampaignConfig,
+) -> Vec<CampaignResult> {
+    SEEDS
+        .iter()
+        .map(|&seed| {
+            let dataset = make_dataset(seed);
+            let config = CampaignConfig {
+                seed,
+                ..base.clone()
+            };
+            icrowd_sim::campaign::run_campaign(&dataset, approach, &config)
+        })
+        .collect()
+}
+
+/// Prints a figure-style accuracy table: approaches as rows, domains as
+/// columns.
+pub fn print_accuracy_table(title: &str, results: &[AveragedResult]) {
+    println!("\n=== {title} ===");
+    if results.is_empty() {
+        return;
+    }
+    let headers: Vec<&str> = results[0].rows.iter().map(|(d, _)| d.as_str()).collect();
+    print!("{:<12}", "approach");
+    for h in &headers {
+        print!(" {h:>14}");
+    }
+    println!();
+    for r in results {
+        print!("{:<12}", r.approach);
+        for (_, acc) in &r.rows {
+            print!(" {acc:>14.3}");
+        }
+        println!();
+    }
+}
+
+/// Prints a generic two-column table.
+pub fn print_pairs(title: &str, header: (&str, &str), pairs: &[(String, String)]) {
+    println!("\n=== {title} ===");
+    println!("{:<28} {:>16}", header.0, header.1);
+    for (a, b) in pairs {
+        println!("{a:<28} {b:>16}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_sim::campaign::MetricChoice;
+    use icrowd_sim::datasets::table1;
+
+    #[test]
+    fn averaged_campaign_produces_domain_rows_plus_all() {
+        let base = CampaignConfig {
+            metric: MetricChoice::Jaccard,
+            icrowd: icrowd::core::ICrowdConfig {
+                similarity_threshold: 0.3,
+                warmup: icrowd::core::WarmupConfig {
+                    num_qualification: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = averaged_campaign(&|_| table1(), Approach::RandomMV, &base);
+        assert_eq!(r.rows.len(), 4, "3 domains + ALL");
+        assert_eq!(r.rows.last().unwrap().0, "ALL");
+        for (_, acc) in &r.rows {
+            assert!((0.0..=1.0).contains(acc));
+        }
+    }
+}

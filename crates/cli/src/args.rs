@@ -1,0 +1,125 @@
+//! A tiny `--flag value` argument parser — enough for the CLI's needs
+//! without pulling a dependency into the workspace.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    options: HashMap<String, String>,
+    /// Bare `--flags` with no value.
+    flags: Vec<String>,
+}
+
+/// CLI-level errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    /// Rejects empty input, a leading `--option` without a subcommand,
+    /// and stray positional arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, CliError> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter
+            .next()
+            .filter(|c| !c.starts_with("--"))
+            .ok_or_else(|| CliError("expected a subcommand; try `icrowd help`".into()))?;
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(CliError(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    options.insert(key.to_owned(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_owned()),
+            }
+        }
+        Ok(Self {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// The value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key` or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed numeric option.
+    ///
+    /// # Errors
+    /// Reports the offending key and value.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value `{v}` for --{key}"))),
+        }
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, CliError> {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("campaign --dataset yahooqa --seed 7 --json").unwrap();
+        assert_eq!(a.command, "campaign");
+        assert_eq!(a.get("dataset"), Some("yahooqa"));
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 7);
+        assert!(a.has_flag("json"));
+        assert!(!a.has_flag("quiet"));
+        assert_eq!(a.get_or("approach", "icrowd"), "icrowd");
+    }
+
+    #[test]
+    fn rejects_missing_subcommand_and_positional_noise() {
+        assert!(parse("").is_err());
+        assert!(parse("--dataset yahooqa").is_err());
+        assert!(parse("campaign stray").is_err());
+    }
+
+    #[test]
+    fn invalid_numbers_are_reported() {
+        let a = parse("campaign --seed banana").unwrap();
+        let err = a.get_parsed("seed", 0u64).unwrap_err();
+        assert!(err.0.contains("banana"));
+    }
+}

@@ -1,0 +1,325 @@
+//! The CLI subcommands.
+
+use std::fmt::Write as _;
+
+use icrowd::AssignStrategy;
+use icrowd_core::config::ICrowdConfig;
+use icrowd_graph::GraphBuilder;
+use icrowd_sim::campaign::{
+    run_campaign, Approach, CampaignConfig, MetricChoice, QualStrategy,
+};
+use icrowd_sim::datasets::{item_compare, quiz, table1, yahooqa, Dataset};
+
+use crate::args::{Args, CliError};
+
+/// Dispatches a parsed command line, returning the text to print.
+///
+/// # Errors
+/// Unknown subcommands, datasets, approaches or bad option values.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" => Ok(help_text()),
+        "datasets" => datasets_cmd(),
+        "campaign" => campaign_cmd(args),
+        "compare" => compare_cmd(args),
+        "graph" => graph_cmd(args),
+        "quals" => quals_cmd(args),
+        other => Err(CliError(format!(
+            "unknown subcommand `{other}`; try `icrowd help`"
+        ))),
+    }
+}
+
+fn help_text() -> String {
+    "icrowd — adaptive crowdsourcing campaigns (SIGMOD 2015 reproduction)
+
+USAGE:
+    icrowd datasets
+    icrowd campaign --dataset <name> [--approach <a>] [--seed N] [--k N] [--json]
+    icrowd compare  --dataset <name> [--seed N]
+    icrowd graph    --dataset <name> [--metric <m>] [--threshold X]
+    icrowd quals    --dataset <name> [--q N] [--strategy inf|random]
+
+DATASETS:    yahooqa, item_compare, table1, quiz
+APPROACHES:  icrowd (Adapt), best-effort, qf-only, random-mv, random-em, avgacc-pv
+METRICS:     jaccard, cos-tfidf, cos-topic, edit-distance
+"
+    .to_owned()
+}
+
+fn dataset_by_name(name: &str, seed: u64) -> Result<Dataset, CliError> {
+    match name {
+        "yahooqa" => Ok(yahooqa(seed)),
+        "item_compare" | "itemcompare" => Ok(item_compare(seed)),
+        "table1" => Ok(table1()),
+        "quiz" => Ok(quiz(seed)),
+        other => Err(CliError(format!(
+            "unknown dataset `{other}` (try: yahooqa, item_compare, table1, quiz)"
+        ))),
+    }
+}
+
+fn approach_by_name(name: &str) -> Result<Approach, CliError> {
+    match name {
+        "icrowd" | "adapt" => Ok(Approach::ICrowd(AssignStrategy::Adapt)),
+        "best-effort" | "besteffort" => Ok(Approach::ICrowd(AssignStrategy::BestEffort)),
+        "qf-only" | "qfonly" => Ok(Approach::ICrowd(AssignStrategy::QfOnly)),
+        "random-mv" | "randommv" => Ok(Approach::RandomMV),
+        "random-em" | "randomem" => Ok(Approach::RandomEM),
+        "avgacc-pv" | "avgaccpv" => Ok(Approach::AvgAccPV),
+        other => Err(CliError(format!("unknown approach `{other}`"))),
+    }
+}
+
+fn metric_by_name(name: &str) -> Result<MetricChoice, CliError> {
+    match name {
+        "jaccard" => Ok(MetricChoice::Jaccard),
+        "cos-tfidf" | "tfidf" => Ok(MetricChoice::CosTfIdf),
+        "cos-topic" | "topic" => Ok(MetricChoice::CosTopic { num_topics: 8 }),
+        "edit-distance" | "edit" => Ok(MetricChoice::EditDistance),
+        other => Err(CliError(format!("unknown metric `{other}`"))),
+    }
+}
+
+/// Default metric per dataset: short product-ish texts work better with
+/// lexical metrics than topic models.
+fn default_metric(dataset: &str) -> &'static str {
+    match dataset {
+        "table1" => "jaccard",
+        _ => "cos-topic",
+    }
+}
+
+fn campaign_config(args: &Args, dataset: &str) -> Result<CampaignConfig, CliError> {
+    let seed = args.get_parsed("seed", 42u64)?;
+    let k = args.get_parsed("k", 3usize)?;
+    let threshold = args.get_parsed("threshold", 0.8f64)?;
+    let q = args.get_parsed("q", 10usize)?;
+    let metric = metric_by_name(args.get_or("metric", default_metric(dataset)))?;
+    let qual = match args.get_or("strategy", "inf") {
+        "inf" | "influence" => QualStrategy::Influence,
+        "random" => QualStrategy::Random,
+        other => return Err(CliError(format!("unknown qualification strategy `{other}`"))),
+    };
+    let mut icrowd = ICrowdConfig {
+        assignment_size: k,
+        similarity_threshold: threshold,
+        ..Default::default()
+    };
+    icrowd.warmup.num_qualification = q;
+    icrowd
+        .validate()
+        .map_err(|e| CliError(format!("invalid configuration: {e}")))?;
+    Ok(CampaignConfig {
+        seed,
+        icrowd,
+        metric,
+        qual,
+        ..Default::default()
+    })
+}
+
+fn datasets_cmd() -> Result<String, CliError> {
+    let mut out = String::new();
+    writeln!(out, "{:<14} {:>8} {:>8} {:>8}", "dataset", "tasks", "domains", "workers").unwrap();
+    for name in ["yahooqa", "item_compare", "table1", "quiz"] {
+        let ds = dataset_by_name(name, 42)?;
+        let (t, d, w) = ds.statistics();
+        writeln!(out, "{name:<14} {t:>8} {d:>8} {w:>8}").unwrap();
+    }
+    Ok(out)
+}
+
+fn campaign_cmd(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .get("dataset")
+        .ok_or_else(|| CliError("campaign requires --dataset".into()))?;
+    let config = campaign_config(args, name)?;
+    let ds = dataset_by_name(name, config.seed)?;
+    let approach = approach_by_name(args.get_or("approach", "icrowd"))?;
+    let r = run_campaign(&ds, approach, &config);
+
+    if args.has_flag("json") {
+        let per_domain: Vec<serde_json::Value> = r
+            .per_domain
+            .iter()
+            .map(|d| {
+                serde_json::json!({
+                    "domain": d.domain,
+                    "accuracy": d.accuracy(),
+                    "correct": d.correct,
+                    "total": d.total,
+                })
+            })
+            .collect();
+        let v = serde_json::json!({
+            "dataset": r.dataset,
+            "approach": r.approach,
+            "overall_accuracy": r.overall,
+            "per_domain": per_domain,
+            "answers": r.answers,
+            "spend_cents": r.spend_cents,
+            "gold_tasks": r.gold.len(),
+            "elapsed_ms": r.elapsed_ms,
+        });
+        return Ok(serde_json::to_string_pretty(&v).expect("serializable") + "\n");
+    }
+
+    let mut out = String::new();
+    writeln!(out, "{} on {} (seed {})", r.approach, r.dataset, config.seed).unwrap();
+    writeln!(out, "overall accuracy: {:.3}", r.overall).unwrap();
+    for d in &r.per_domain {
+        writeln!(out, "  {:<16} {:.3} ({}/{})", d.domain, d.accuracy(), d.correct, d.total)
+            .unwrap();
+    }
+    writeln!(out, "answers: {}   spend: {} cents", r.answers, r.spend_cents).unwrap();
+    Ok(out)
+}
+
+fn compare_cmd(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .get("dataset")
+        .ok_or_else(|| CliError("compare requires --dataset".into()))?;
+    let config = campaign_config(args, name)?;
+    let ds = dataset_by_name(name, config.seed)?;
+    let mut out = String::new();
+    writeln!(out, "{:<12} {:>9} {:>9} {:>8}", "approach", "overall", "answers", "cents").unwrap();
+    for approach in [
+        Approach::RandomMV,
+        Approach::RandomEM,
+        Approach::AvgAccPV,
+        Approach::ICrowd(AssignStrategy::Adapt),
+    ] {
+        let r = run_campaign(&ds, approach, &config);
+        writeln!(
+            out,
+            "{:<12} {:>9.3} {:>9} {:>8}",
+            r.approach, r.overall, r.answers, r.spend_cents
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn graph_cmd(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .get("dataset")
+        .ok_or_else(|| CliError("graph requires --dataset".into()))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let threshold = args.get_parsed("threshold", 0.5f64)?;
+    let ds = dataset_by_name(name, seed)?;
+    let metric = metric_by_name(args.get_or("metric", default_metric(name)))?;
+    let built = metric.build(&ds.tasks, seed);
+    let graph = GraphBuilder::new(threshold).build(&ds.tasks, &built);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} graph over {}: {} nodes, {} edges, {} isolated (threshold {threshold})",
+        metric.name(),
+        ds.name,
+        graph.num_tasks(),
+        graph.num_edges(),
+        graph.isolated_tasks().count()
+    )
+    .unwrap();
+    let comps = graph.components();
+    writeln!(out, "components: {}", comps.len()).unwrap();
+    if graph.num_tasks() <= 20 {
+        for (a, b, s) in graph.edges() {
+            writeln!(out, "  {a} -- {b}  {s:.3}").unwrap();
+        }
+    }
+    Ok(out)
+}
+
+fn quals_cmd(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .get("dataset")
+        .ok_or_else(|| CliError("quals requires --dataset".into()))?;
+    let config = campaign_config(args, name)?;
+    let ds = dataset_by_name(name, config.seed)?;
+    let graph = icrowd_sim::campaign::build_graph(&ds, &config);
+    let gold = icrowd_sim::campaign::select_gold(&ds, &graph, &config);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} qualification tasks for {} ({}):",
+        gold.len(),
+        ds.name,
+        config.qual.name()
+    )
+    .unwrap();
+    for &g in &gold {
+        writeln!(
+            out,
+            "  {g} [{}] {}",
+            ds.domain_name(g),
+            &ds.tasks[g].text.chars().take(60).collect::<String>()
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        run(&Args::parse(line.split_whitespace().map(str::to_owned)).unwrap())
+    }
+
+    #[test]
+    fn help_and_datasets() {
+        assert!(run_line("help").unwrap().contains("USAGE"));
+        let d = run_line("datasets").unwrap();
+        assert!(d.contains("yahooqa"));
+        assert!(d.contains("360"), "item_compare task count shown");
+    }
+
+    #[test]
+    fn campaign_on_table1_prints_accuracy() {
+        let out = run_line("campaign --dataset table1 --approach random-mv --q 3").unwrap();
+        assert!(out.contains("overall accuracy"), "{out}");
+        assert!(out.contains("RandomMV"));
+    }
+
+    #[test]
+    fn campaign_json_output_parses() {
+        let out =
+            run_line("campaign --dataset table1 --approach icrowd --q 3 --json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(v["approach"], "iCrowd");
+        assert!(v["overall_accuracy"].as_f64().unwrap() >= 0.0);
+        assert_eq!(v["per_domain"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn graph_command_prints_edges_for_small_sets() {
+        let out = run_line("graph --dataset table1 --metric jaccard --threshold 0.5").unwrap();
+        assert!(out.contains("12 nodes"));
+        assert!(out.contains("t2 -- t7"), "{out}");
+    }
+
+    #[test]
+    fn quals_command_lists_gold_tasks() {
+        let out = run_line("quals --dataset table1 --q 3").unwrap();
+        assert!(out.contains("3 qualification tasks"));
+        assert!(out.contains("InfQF"));
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(run_line("nonsense").unwrap_err().0.contains("unknown subcommand"));
+        assert!(run_line("campaign").unwrap_err().0.contains("--dataset"));
+        assert!(run_line("campaign --dataset mars").unwrap_err().0.contains("unknown dataset"));
+        assert!(run_line("campaign --dataset table1 --approach magic")
+            .unwrap_err()
+            .0
+            .contains("unknown approach"));
+        assert!(run_line("campaign --dataset table1 --k 0")
+            .unwrap_err()
+            .0
+            .contains("invalid configuration"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # icrowd-cli
+//!
+//! Library backing the `icrowd` command-line tool: a tiny argument
+//! parser (no external dependencies) and the command implementations,
+//! separated from `main` so they are unit-testable.
+//!
+//! ```text
+//! icrowd datasets
+//! icrowd campaign --dataset yahooqa --approach icrowd --seed 42 [--json]
+//! icrowd compare  --dataset item_compare [--seed N]
+//! icrowd graph    --dataset table1 --metric jaccard --threshold 0.5
+//! icrowd quals    --dataset yahooqa --q 10
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::dbg_macro)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+pub use commands::run;

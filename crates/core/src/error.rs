@@ -1,0 +1,104 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::answer::Answer;
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+
+/// Errors raised by the core types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A worker tried to vote twice on the same microtask.
+    DuplicateVote {
+        /// The microtask.
+        task: TaskId,
+        /// The offending worker.
+        worker: WorkerId,
+    },
+    /// An answer was outside the microtask's choice range.
+    InvalidAnswer {
+        /// The microtask.
+        task: TaskId,
+        /// The out-of-range answer.
+        answer: Answer,
+    },
+    /// A microtask already collected its `k` votes.
+    AssignmentExhausted {
+        /// The microtask.
+        task: TaskId,
+    },
+    /// A task id was not present in the task set.
+    UnknownTask {
+        /// The unknown id.
+        task: TaskId,
+    },
+    /// A worker id was not registered.
+    UnknownWorker {
+        /// The unknown id.
+        worker: WorkerId,
+    },
+    /// Task ids in a [`crate::task::TaskSet`] were not dense `0..n`.
+    NonDenseTaskIds {
+        /// Index at which the mismatch occurred.
+        position: usize,
+        /// The id found there.
+        found: TaskId,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateVote { task, worker } => {
+                write!(f, "worker {worker} already voted on task {task}")
+            }
+            CoreError::InvalidAnswer { task, answer } => {
+                write!(f, "answer {answer} is out of range for task {task}")
+            }
+            CoreError::AssignmentExhausted { task } => {
+                write!(f, "task {task} already collected all its assignments")
+            }
+            CoreError::UnknownTask { task } => write!(f, "unknown task {task}"),
+            CoreError::UnknownWorker { worker } => write!(f, "unknown worker {worker}"),
+            CoreError::NonDenseTaskIds { position, found } => write!(
+                f,
+                "task ids must be dense: expected t{} at position {position}, found {found}",
+                position + 1
+            ),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::DuplicateVote {
+            task: TaskId(0),
+            worker: WorkerId(2),
+        };
+        assert_eq!(e.to_string(), "worker w3 already voted on task t1");
+
+        let e = CoreError::InvalidConfig {
+            reason: "alpha must be positive".into(),
+        };
+        assert!(e.to_string().contains("alpha must be positive"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<CoreError>();
+    }
+}

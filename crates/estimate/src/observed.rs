@@ -1,0 +1,174 @@
+//! Observed accuracies `q_i^w` — Section 3.2 of the paper.
+//!
+//! For a globally completed microtask with ground truth (a qualification
+//! task), the observed accuracy is simply 1 or 0. Without ground truth,
+//! Equation (5) scores the worker against the *consensus* answer: if her
+//! answer matches, `q` is the probability that the consensus is correct
+//! given everyone's current estimated accuracies; otherwise the
+//! complement.
+
+use icrowd_core::answer::Answer;
+
+/// Clamp applied to accuracies before forming Equation (5)'s products, so
+/// degenerate estimates (exactly 0 or 1) cannot zero the denominator.
+const PROB_CLAMP: f64 = 0.01;
+
+/// Observed accuracy of a qualification microtask: 1.0 if the worker's
+/// answer matches ground truth, 0.0 otherwise.
+#[inline]
+pub fn qualification_observed(answer: Answer, ground_truth: Answer) -> f64 {
+    if answer == ground_truth {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Equation (5): observed accuracy of one voter on a globally completed
+/// microtask without ground truth.
+///
+/// * `voter_matches_consensus` — whether *this* worker's answer equals the
+///   consensus answer `ans*`.
+/// * `match_accuracies` — current estimated accuracies `p_i^{w'}` of all
+///   workers in `W_1` (answer equal to consensus), **including** the voter
+///   herself when she matches.
+/// * `mismatch_accuracies` — accuracies of all workers in `W_2` (answer
+///   different from consensus), including the voter when she mismatches.
+///
+/// Returns
+///
+/// ```text
+/// q =   P1 · P̄2 / (P1 · P̄2 + P̄1 · P2)   if the voter matches
+/// q =   P̄1 · P2 / (P1 · P̄2 + P̄1 · P2)   otherwise
+/// ```
+///
+/// with `P1 = Π p`, `P̄1 = Π (1 − p)` over `W_1` and likewise for `W_2`.
+/// Inputs are clamped to `[0.01, 0.99]` so the denominator stays positive.
+pub fn observed_accuracy(
+    voter_matches_consensus: bool,
+    match_accuracies: &[f64],
+    mismatch_accuracies: &[f64],
+) -> f64 {
+    debug_assert!(
+        !match_accuracies.is_empty(),
+        "a consensus requires at least one matching voter"
+    );
+    let clamp = |p: f64| p.clamp(PROB_CLAMP, 1.0 - PROB_CLAMP);
+    let p1: f64 = match_accuracies.iter().map(|&p| clamp(p)).product();
+    let p1_bar: f64 = match_accuracies.iter().map(|&p| 1.0 - clamp(p)).product();
+    let p2: f64 = mismatch_accuracies.iter().map(|&p| clamp(p)).product();
+    let p2_bar: f64 = mismatch_accuracies
+        .iter()
+        .map(|&p| 1.0 - clamp(p))
+        .product();
+
+    // "Consensus correct" scenario: everyone in W1 right, everyone in W2
+    // wrong. "Consensus incorrect": the reverse.
+    let consensus_correct = p1 * p2_bar;
+    let consensus_incorrect = p1_bar * p2;
+    let denom = consensus_correct + consensus_incorrect;
+    debug_assert!(denom > 0.0, "clamping keeps the denominator positive");
+    if voter_matches_consensus {
+        consensus_correct / denom
+    } else {
+        consensus_incorrect / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualification_is_binary() {
+        assert_eq!(qualification_observed(Answer::YES, Answer::YES), 1.0);
+        assert_eq!(qualification_observed(Answer::NO, Answer::YES), 0.0);
+    }
+
+    /// The paper's worked example (Section 3.2): task t6 with voters
+    /// {w1, w2, w5}, consensus YES from w1 and w5, w2 dissenting.
+    /// q_6^{w1} = p1 p5 (1-p2) / (p1 p5 (1-p2) + (1-p1)(1-p5) p2).
+    #[test]
+    fn matches_paper_example_formula() {
+        let (p1, p5, p2) = (0.8, 0.7, 0.6);
+        let want =
+            p1 * p5 * (1.0 - p2) / (p1 * p5 * (1.0 - p2) + (1.0 - p1) * (1.0 - p5) * p2);
+        let got = observed_accuracy(true, &[p1, p5], &[p2]);
+        assert!((got - want).abs() < 1e-12);
+        // The dissenter w2's observed accuracy is the complement share.
+        let got_dissent = observed_accuracy(false, &[p1, p5], &[p2]);
+        assert!((got_dissent - (1.0 - want)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn match_and_mismatch_shares_sum_to_one() {
+        let q_match = observed_accuracy(true, &[0.9, 0.55], &[0.7]);
+        let q_mismatch = observed_accuracy(false, &[0.9, 0.55], &[0.7]);
+        assert!((q_match + q_mismatch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanimous_consensus_is_strong_evidence() {
+        // Three competent matching workers, no dissent: q close to 1.
+        let q = observed_accuracy(true, &[0.8, 0.8, 0.8], &[]);
+        assert!(q > 0.9, "q = {q}");
+    }
+
+    #[test]
+    fn reliable_dissenter_weakens_consensus() {
+        let weak_dissent = observed_accuracy(true, &[0.7, 0.7], &[0.3]);
+        let strong_dissent = observed_accuracy(true, &[0.7, 0.7], &[0.95]);
+        assert!(
+            strong_dissent < weak_dissent,
+            "a credible dissenter should lower the matchers' observed accuracy"
+        );
+    }
+
+    #[test]
+    fn degenerate_accuracies_do_not_divide_by_zero() {
+        // p = 1 matchers and p = 1 dissenter would make both scenarios
+        // impossible without clamping.
+        let q = observed_accuracy(true, &[1.0], &[1.0]);
+        assert!(q.is_finite());
+        assert!((0.0..=1.0).contains(&q));
+        let q = observed_accuracy(false, &[0.0, 1.0], &[0.0]);
+        assert!(q.is_finite());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn always_a_probability(
+                m in proptest::collection::vec(0.0f64..=1.0, 1..5),
+                d in proptest::collection::vec(0.0f64..=1.0, 0..5),
+                matches in proptest::bool::ANY,
+            ) {
+                let q = observed_accuracy(matches, &m, &d);
+                prop_assert!((0.0..=1.0).contains(&q));
+            }
+
+            #[test]
+            fn complementary_outcomes(
+                m in proptest::collection::vec(0.05f64..=0.95, 1..5),
+                d in proptest::collection::vec(0.05f64..=0.95, 1..5),
+            ) {
+                let a = observed_accuracy(true, &m, &d);
+                let b = observed_accuracy(false, &m, &d);
+                prop_assert!((a + b - 1.0).abs() < 1e-9);
+            }
+
+            #[test]
+            fn more_reliable_matchers_raise_q(
+                base in 0.55f64..0.9,
+                bump in 0.01f64..0.09,
+            ) {
+                let low = observed_accuracy(true, &[base, base], &[0.5]);
+                let high = observed_accuracy(true, &[base + bump, base + bump], &[0.5]);
+                prop_assert!(high >= low - 1e-12);
+            }
+        }
+    }
+}

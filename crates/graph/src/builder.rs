@@ -1,0 +1,255 @@
+//! Constructing similarity graphs from similarity metrics.
+//!
+//! The default path evaluates all `O(|T|^2)` task pairs against a
+//! [`TaskSimilarity`] metric and keeps edges at or above the similarity
+//! threshold (Section 3.3; the paper's example uses Jaccard with threshold
+//! 0.5, the experiments use `Cos(topic)` with 0.8). An optional
+//! *neighbor cap* keeps only the strongest `m` neighbors per task — the
+//! "maximal number of neighbors" knob of the scalability experiment
+//! (Figure 10) that bounds index size on large task sets.
+
+use icrowd_core::task::{TaskId, TaskSet};
+use icrowd_text::TaskSimilarity;
+
+use crate::csr::SimilarityGraph;
+
+/// Builder for [`SimilarityGraph`]s.
+///
+/// ```
+/// use icrowd_core::{Microtask, TaskId, TaskSet};
+/// use icrowd_graph::GraphBuilder;
+/// use icrowd_text::{JaccardSimilarity, Tokenizer};
+///
+/// let tasks: TaskSet = ["iphone 4 wifi", "iphone 4 case", "nba lakers"]
+///     .iter()
+///     .enumerate()
+///     .map(|(i, t)| Microtask::binary(TaskId(i as u32), *t))
+///     .collect();
+/// let metric = JaccardSimilarity::new(&tasks, &Tokenizer::keeping_stopwords());
+/// let graph = GraphBuilder::new(0.4).build(&tasks, &metric);
+/// assert_eq!(graph.num_edges(), 1, "only the two iPhone tasks connect");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    threshold: f64,
+    max_neighbors: Option<usize>,
+}
+
+impl GraphBuilder {
+    /// A builder keeping edges with similarity `>= threshold`.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must lie in [0, 1]"
+        );
+        Self {
+            threshold,
+            max_neighbors: None,
+        }
+    }
+
+    /// Caps each task at its `m` most similar neighbors (edges kept if
+    /// either endpoint retains them, preserving symmetry).
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn with_max_neighbors(mut self, m: usize) -> Self {
+        assert!(m > 0, "max_neighbors must be positive");
+        self.max_neighbors = Some(m);
+        self
+    }
+
+    /// The configured similarity threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Builds the similarity graph by evaluating every task pair.
+    ///
+    /// Pairs with similarity `< max(threshold, epsilon)` are dropped
+    /// (zero-similarity pairs are never edges even at threshold 0).
+    pub fn build<M: TaskSimilarity + ?Sized>(&self, tasks: &TaskSet, metric: &M) -> SimilarityGraph {
+        let n = tasks.len();
+        let mut edges: Vec<(TaskId, TaskId, f64)> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (TaskId(i as u32), TaskId(j as u32));
+                let s = metric.similarity(a, b);
+                debug_assert!(
+                    (s - metric.similarity(b, a)).abs() < 1e-9,
+                    "metric {} must be symmetric",
+                    metric.name()
+                );
+                debug_assert!((0.0..=1.0 + 1e-12).contains(&s), "similarity out of range");
+                if s >= self.threshold && s > 0.0 {
+                    edges.push((a, b, s.min(1.0)));
+                }
+            }
+        }
+        if let Some(m) = self.max_neighbors {
+            edges = cap_neighbors(n, edges, m);
+        }
+        SimilarityGraph::from_edges(n, &edges)
+    }
+
+    /// Builds from an explicit edge list (used by the scalability workload
+    /// generator, which never materializes a metric), applying the
+    /// threshold and optional neighbor cap.
+    pub fn build_from_edges(
+        &self,
+        n: usize,
+        edges: impl IntoIterator<Item = (TaskId, TaskId, f64)>,
+    ) -> SimilarityGraph {
+        let mut kept: Vec<_> = edges
+            .into_iter()
+            .filter(|&(_, _, s)| s >= self.threshold && s > 0.0)
+            .collect();
+        if let Some(m) = self.max_neighbors {
+            kept = cap_neighbors(n, kept, m);
+        }
+        SimilarityGraph::from_edges(n, &kept)
+    }
+}
+
+/// Keeps, per node, its `m` strongest incident edges; an edge survives if
+/// either endpoint keeps it.
+fn cap_neighbors(
+    n: usize,
+    edges: Vec<(TaskId, TaskId, f64)>,
+    m: usize,
+) -> Vec<(TaskId, TaskId, f64)> {
+    let mut incident: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n];
+    for (idx, &(a, b, s)) in edges.iter().enumerate() {
+        incident[a.index()].push((s, idx));
+        incident[b.index()].push((s, idx));
+    }
+    let mut keep = vec![false; edges.len()];
+    for list in &mut incident {
+        // Strongest first; deterministic tie-break on edge index.
+        list.sort_unstable_by(|x, y| y.0.partial_cmp(&x.0).unwrap().then(x.1.cmp(&y.1)));
+        for &(_, idx) in list.iter().take(m) {
+            keep[idx] = true;
+        }
+    }
+    edges
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| keep[i])
+        .map(|(_, e)| e)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::Microtask;
+    use icrowd_text::jaccard::JaccardSimilarity;
+    use icrowd_text::tokenize::Tokenizer;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    /// The twelve Table-1 microtasks with their token columns.
+    fn table1_tasks() -> TaskSet {
+        [
+            "iphone 4 WiFi 32GB four 3G black",
+            "ipod touch 32GB WiFi headphone",
+            "ipad 3 WiFi 32GB black new cover white",
+            "iphone four WiFi 16GB 3G",
+            "iphone 4 case black WiFi 32GB",
+            "iphone 4 WiFi 32GB four",
+            "ipod touch 32GB WiFi case black",
+            "ipod touch nano headphone",
+            "ipod touch WiFi nano headphone",
+            "ipad 3 WiFi 32GB black iphone 4 cover white",
+            "ipad 4 WiFi 16GB retina display",
+            "ipad 3 cover white new",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, text)| Microtask::binary(TaskId(i as u32), *text))
+        .collect()
+    }
+
+    #[test]
+    fn figure3_jaccard_graph_has_expected_edges() {
+        // Paper, Section 3.3: Jaccard over Table 1 token sets with
+        // threshold 0.5 produces Figure 3, including the 4/7 edge (t2, t7).
+        let tasks = table1_tasks();
+        let metric = JaccardSimilarity::new(&tasks, &Tokenizer::keeping_stopwords());
+        let g = GraphBuilder::new(0.5).build(&tasks, &metric);
+        let s27 = g.similarity(t(1), t(6)); // t2, t7 in paper numbering
+        assert!((s27 - 4.0 / 7.0).abs() < 1e-12, "t2-t7 edge is 4/7, got {s27}");
+        // iPhone tasks t1 and t6 are connected; iPhone t1 and iPod t8 are not.
+        assert!(g.similarity(t(0), t(5)) >= 0.5);
+        assert_eq!(g.similarity(t(0), t(7)), 0.0);
+        // Only t11 ("ipad 4 ... retina display") lacks a >= 0.5 Jaccard
+        // neighbor: its best overlap (with t10) is 3/12.
+        assert_eq!(g.isolated_tasks().collect::<Vec<_>>(), vec![t(10)]);
+    }
+
+    #[test]
+    fn threshold_prunes_edges() {
+        let tasks = table1_tasks();
+        let metric = JaccardSimilarity::new(&tasks, &Tokenizer::keeping_stopwords());
+        let loose = GraphBuilder::new(0.1).build(&tasks, &metric);
+        let tight = GraphBuilder::new(0.9).build(&tasks, &metric);
+        assert!(loose.num_edges() > tight.num_edges());
+    }
+
+    #[test]
+    fn neighbor_cap_limits_strongest_edges() {
+        // Star: node 0 connected to 1..=4 with rising weights.
+        let edges: Vec<_> = (1..5u32)
+            .map(|i| (t(0), t(i), 0.2 * i as f64))
+            .collect();
+        let g = GraphBuilder::new(0.0)
+            .with_max_neighbors(2)
+            .build_from_edges(5, edges);
+        // Node 0 keeps its two strongest (to 3 and 4); but 1 and 2 each keep
+        // their only edge, so the union retains all four edges... each leaf
+        // keeps its single incident edge. Union semantics: all survive.
+        assert_eq!(g.num_edges(), 4);
+
+        // A clique where capping bites: 4 nodes, all 6 edges weight graded.
+        let clique = vec![
+            (t(0), t(1), 0.9),
+            (t(0), t(2), 0.8),
+            (t(0), t(3), 0.1),
+            (t(1), t(2), 0.7),
+            (t(1), t(3), 0.2),
+            (t(2), t(3), 0.3),
+        ];
+        let g = GraphBuilder::new(0.0)
+            .with_max_neighbors(2)
+            .build_from_edges(4, clique);
+        // Node 3's strongest two are (2,3) and (1,3); edge (0,3) is kept by
+        // neither endpoint and must vanish.
+        assert_eq!(g.similarity(t(0), t(3)), 0.0);
+        assert!(g.similarity(t(2), t(3)) > 0.0);
+    }
+
+    #[test]
+    fn build_from_edges_applies_threshold() {
+        let g = GraphBuilder::new(0.5)
+            .build_from_edges(3, vec![(t(0), t(1), 0.4), (t(1), t(2), 0.6)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.similarity(t(1), t(2)), 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must lie in [0, 1]")]
+    fn bad_threshold_rejected() {
+        GraphBuilder::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_neighbors must be positive")]
+    fn zero_cap_rejected() {
+        GraphBuilder::new(0.5).with_max_neighbors(0);
+    }
+}

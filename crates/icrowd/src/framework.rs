@@ -1,0 +1,1035 @@
+//! The iCrowd framework — Figure 1 and Algorithm 2 of the paper.
+//!
+//! [`ICrowd`] plays the ExternalQuestion server role against a
+//! crowdsourcing platform: on every worker request it decides an
+//! assignment, and on every submitted answer it updates consensus state
+//! and re-estimates the voters' accuracies. The assignment pipeline is
+//! Algorithm 2:
+//!
+//! 1. **Top worker sets** — for every candidate microtask, the `k'`
+//!    eligible active workers with the highest estimated accuracies.
+//! 2. **Optimal assignment** — Algorithm 3's greedy disjoint packing;
+//!    the requesting worker receives the task whose winning set contains
+//!    her.
+//! 3. **Performance testing** — if no winning set contains her, she is
+//!    tested on the task maximizing estimate-uncertainty × co-worker
+//!    quality.
+//!
+//! New workers first pass through [`crate::warmup::WarmUp`] on the
+//! qualification microtasks (selected by influence maximization unless
+//! overridden); workers whose qualification average falls below the
+//! configured threshold are rejected and never assigned again.
+//!
+//! ## Candidate pools and scalability
+//!
+//! On small task sets every open task is a candidate each round. On very
+//! large sets (the Figure 10 regime) that is wasteful: accuracy evidence
+//! only ever distinguishes tasks near the workers' completed ones, so the
+//! builder's `candidate_limit` caps the pool at the union of the active
+//! workers' *estimate supports* (tasks reachable from their observations
+//! in the similarity graph — an index lookup) plus a rotating sample of
+//! other open tasks. This is the "effective index structure" that keeps
+//! per-request assignment cost independent of `|T|`.
+
+use std::collections::BTreeSet;
+
+use icrowd_assign::{greedy_assign, performance_test_assignment, top_worker_set, TopWorkerSet};
+use icrowd_core::answer::{Answer, Vote};
+use icrowd_core::config::ICrowdConfig;
+use icrowd_core::task::{TaskId, TaskSet};
+use icrowd_core::voting::ConsensusState;
+use icrowd_core::worker::{ActivityTracker, Tick, WorkerId};
+use icrowd_estimate::{AccuracyEstimator, EstimationMode};
+use icrowd_graph::SimilarityGraph;
+use icrowd_platform::market::ExternalQuestionServer;
+use icrowd_text::{CosineTfIdf, TaskSimilarity, Tokenizer};
+
+use crate::warmup::WarmUp;
+
+/// Which assignment strategy the framework runs (Section 6.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignStrategy {
+    /// Full iCrowd: adaptive estimation + optimal assignment + testing.
+    #[default]
+    Adapt,
+    /// Adaptive estimation, but each worker simply gets *her* best task.
+    BestEffort,
+    /// Estimation frozen after qualification; assignment as in `Adapt`.
+    QfOnly,
+}
+
+impl AssignStrategy {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AssignStrategy::Adapt => "Adapt",
+            AssignStrategy::BestEffort => "BestEffort",
+            AssignStrategy::QfOnly => "QF-Only",
+        }
+    }
+}
+
+/// What kind of assignment a worker currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AssignmentKind {
+    Warmup,
+    Regular,
+}
+
+/// Builder for [`ICrowd`].
+pub struct ICrowdBuilder {
+    tasks: TaskSet,
+    config: ICrowdConfig,
+    strategy: AssignStrategy,
+    mode: EstimationMode,
+    graph: Option<SimilarityGraph>,
+    qualification: Option<Vec<TaskId>>,
+    candidate_limit: usize,
+}
+
+impl ICrowdBuilder {
+    /// Starts a builder over the given microtasks.
+    pub fn new(tasks: TaskSet) -> Self {
+        Self {
+            tasks,
+            config: ICrowdConfig::default(),
+            strategy: AssignStrategy::Adapt,
+            mode: EstimationMode::default(),
+            graph: None,
+            qualification: None,
+            candidate_limit: usize::MAX,
+        }
+    }
+
+    /// Sets the framework configuration.
+    pub fn config(mut self, config: ICrowdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the assignment strategy.
+    pub fn strategy(mut self, strategy: AssignStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the estimation mode (see [`EstimationMode`]).
+    pub fn estimation_mode(mut self, mode: EstimationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Injects a pre-built similarity graph (otherwise one is built from
+    /// `Cos(tf-idf)` over the task texts at the configured threshold).
+    pub fn graph(mut self, graph: SimilarityGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Builds the graph from an explicit similarity metric.
+    pub fn metric<M: TaskSimilarity>(mut self, metric: &M) -> Self {
+        let mut builder = icrowd_graph::GraphBuilder::new(self.config.similarity_threshold);
+        if let Some(m) = self.config.max_neighbors {
+            builder = builder.with_max_neighbors(m);
+        }
+        self.graph = Some(builder.build(&self.tasks, metric));
+        self
+    }
+
+    /// Overrides the qualification microtasks (otherwise selected by
+    /// influence maximization, Algorithm 4). Every listed task must carry
+    /// ground truth.
+    pub fn qualification(mut self, tasks: Vec<TaskId>) -> Self {
+        self.qualification = Some(tasks);
+        self
+    }
+
+    /// Caps the per-request candidate pool (see module docs). The default
+    /// (`usize::MAX`) considers every open task.
+    pub fn candidate_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "candidate_limit must be positive");
+        self.candidate_limit = limit;
+        self
+    }
+
+    /// Builds the framework (runs offline graph + index construction and
+    /// qualification selection).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or a selected
+    /// qualification microtask lacks ground truth.
+    pub fn build(self) -> ICrowd {
+        self.config.validate().expect("invalid configuration");
+        let graph = self.graph.unwrap_or_else(|| {
+            let metric = CosineTfIdf::new(&self.tasks, &Tokenizer::new());
+            let mut builder = icrowd_graph::GraphBuilder::new(self.config.similarity_threshold);
+            if let Some(m) = self.config.max_neighbors {
+                builder = builder.with_max_neighbors(m);
+            }
+            builder.build(&self.tasks, &metric)
+        });
+        let estimator = AccuracyEstimator::new(graph, self.config.clone(), self.mode);
+        let qualification = self.qualification.unwrap_or_else(|| {
+            icrowd_assign::select_qualification_influence(
+                estimator.index(),
+                self.config.warmup.num_qualification,
+            )
+        });
+        let mut consensus = ConsensusState::new(&self.tasks, self.config.assignment_size);
+        let mut open: BTreeSet<u32> = self.tasks.ids().map(|t| t.0).collect();
+        for &q in &qualification {
+            // The requester labelled the qualification tasks herself
+            // (Section 2.2): their results are known up front and no crowd
+            // capacity is spent re-answering them; warm-up answers feed
+            // estimation only.
+            let truth = self.tasks[q]
+                .ground_truth
+                .unwrap_or_else(|| panic!("qualification task {q} lacks ground truth"));
+            consensus.preset(q, truth);
+            open.remove(&q.0);
+        }
+        ICrowd {
+            activity: ActivityTracker::new(self.config.activity_window),
+            warmup: WarmUp::new(qualification),
+            consensus,
+            estimator,
+            strategy: self.strategy,
+            candidate_limit: self.candidate_limit,
+            tasks: self.tasks,
+            config: self.config,
+            in_flight: Vec::new(),
+            inflight_workers: Vec::new(),
+            open,
+            open_cursor: 0,
+            regular_assignments: Vec::new(),
+            test_assignments: 0,
+            early_stops: 0,
+            declined_requests: 0,
+        }
+    }
+}
+
+/// The iCrowd adaptive crowdsourcing server.
+pub struct ICrowd {
+    tasks: TaskSet,
+    config: ICrowdConfig,
+    strategy: AssignStrategy,
+    estimator: AccuracyEstimator,
+    consensus: ConsensusState,
+    activity: ActivityTracker,
+    warmup: WarmUp,
+    /// In-flight assignment per worker index.
+    in_flight: Vec<Option<(TaskId, AssignmentKind)>>,
+    /// Workers currently holding each task (regular assignments only).
+    inflight_workers: Vec<Vec<WorkerId>>,
+    /// Open (not globally completed) task ids.
+    open: BTreeSet<u32>,
+    /// Round-robin cursor into `open` for candidate sampling.
+    open_cursor: u32,
+    candidate_limit: usize,
+    /// Regular (non-warmup) assignments per worker — Figure 15's metric.
+    regular_assignments: Vec<u32>,
+    /// Step-3 performance-test assignments issued.
+    test_assignments: u64,
+    /// Tasks completed early by the confidence-based stopping extension.
+    early_stops: u64,
+    /// Requests the server declined.
+    declined_requests: u64,
+}
+
+impl ICrowd {
+    /// The task set under crowdsourcing.
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ICrowdConfig {
+        &self.config
+    }
+
+    /// The strategy in force.
+    pub fn strategy(&self) -> AssignStrategy {
+        self.strategy
+    }
+
+    /// The consensus state (votes, completions).
+    pub fn consensus(&self) -> &ConsensusState {
+        &self.consensus
+    }
+
+    /// The accuracy estimator.
+    pub fn estimator(&self) -> &AccuracyEstimator {
+        &self.estimator
+    }
+
+    /// Mutable estimator access (used by experiment harnesses).
+    pub fn estimator_mut(&mut self) -> &mut AccuracyEstimator {
+        &mut self.estimator
+    }
+
+    /// The warm-up component.
+    pub fn warmup(&self) -> &WarmUp {
+        &self.warmup
+    }
+
+    /// Final answers for every task: consensus where reached, majority
+    /// fallback elsewhere.
+    pub fn results(&self) -> std::collections::HashMap<TaskId, Answer> {
+        self.consensus.final_answers(&self.tasks)
+    }
+
+    /// Final answers with votes re-aggregated by *weighted* majority
+    /// voting, each vote weighted by the voter's estimated accuracy on
+    /// that task (Section 2.1 notes weighted majority voting as the
+    /// accepted alternative; this uses the framework's own estimates as
+    /// the weights). Qualification tasks keep their requester labels;
+    /// tasks whose weighted vote is empty fall back to [`Self::results`].
+    pub fn results_weighted(&mut self) -> std::collections::HashMap<TaskId, Answer> {
+        let mut out = self.results();
+        for t in self.tasks.ids() {
+            let votes = self.consensus.votes(t).votes().to_vec();
+            if votes.is_empty() {
+                continue; // preset gold or never assigned: keep as-is
+            }
+            let num_choices = self.tasks[t].num_choices;
+            let weighted = icrowd_core::voting::weighted_majority_vote(&votes, num_choices, |w| {
+                self.estimator.accuracies_for(w, &[t])[0]
+            });
+            if let Some(o) = weighted {
+                out.insert(t, o.answer);
+            }
+        }
+        out
+    }
+
+    /// Regular assignments handed to each registered worker (Figure 15).
+    pub fn assignment_distribution(&self) -> &[u32] {
+        &self.regular_assignments
+    }
+
+    /// Regular assignments keyed by the workers' external (platform)
+    /// ids, in registration order.
+    pub fn worker_assignments(&self) -> Vec<(String, u32)> {
+        self.activity
+            .iter()
+            .map(|r| {
+                (
+                    r.external_id.clone(),
+                    self.regular_assignments[r.id.index()],
+                )
+            })
+            .collect()
+    }
+
+    /// Step-3 performance-test assignments issued so far.
+    pub fn test_assignments(&self) -> u64 {
+        self.test_assignments
+    }
+
+    /// Tasks completed early by the confidence-stopping extension.
+    pub fn early_stops(&self) -> u64 {
+        self.early_stops
+    }
+
+    /// Requests declined so far.
+    pub fn declined_requests(&self) -> u64 {
+        self.declined_requests
+    }
+
+    /// The dense worker id for an external id, registering new workers.
+    fn worker_id(&mut self, external: &str, now: Tick) -> WorkerId {
+        if let Some(w) = self.activity.find_external(external) {
+            return w;
+        }
+        let w = self.activity.register(external, now);
+        self.grow_worker_state(w);
+        w
+    }
+
+    fn grow_worker_state(&mut self, w: WorkerId) {
+        if self.in_flight.len() <= w.index() {
+            self.in_flight.resize(w.index() + 1, None);
+            self.regular_assignments.resize(w.index() + 1, 0);
+        }
+        self.estimator.register_worker(w);
+    }
+
+    /// Workers consuming capacity on `task`: regular voters + in-flight.
+    fn capacity_holders(&self, task: TaskId) -> Vec<WorkerId> {
+        let mut out: Vec<WorkerId> = self.consensus.assigned_workers(task).collect();
+        if let Some(extra) = self.inflight_workers.get(task.index()) {
+            out.extend(extra.iter().copied());
+        }
+        out
+    }
+
+    /// Whether `worker` may be assigned `task`.
+    fn eligible(&self, worker: WorkerId, task: TaskId) -> bool {
+        !self.warmup.has_answered(worker, task)
+            && self.consensus.votes(task).answer_of(worker).is_none()
+            && self
+                .inflight_workers
+                .get(task.index())
+                .is_none_or(|v| !v.contains(&worker))
+    }
+
+    /// Remaining capacity of `task`.
+    fn remaining_capacity(&self, task: TaskId) -> usize {
+        self.config
+            .assignment_size
+            .saturating_sub(self.capacity_holders(task).len())
+    }
+
+    /// Drops in-flight assignments of workers that went inactive, so
+    /// abandoned tasks regain capacity.
+    fn purge_stale_inflight(&mut self, now: Tick) {
+        for wi in 0..self.in_flight.len() {
+            let w = WorkerId(wi as u32);
+            if let Some((task, kind)) = self.in_flight[wi] {
+                if !self.activity.is_active(w, now) {
+                    self.in_flight[wi] = None;
+                    if kind == AssignmentKind::Regular {
+                        if let Some(v) = self.inflight_workers.get_mut(task.index()) {
+                            v.retain(|&x| x != w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles the candidate task pool for this round (see module
+    /// docs): estimate supports of active workers plus a rotating sample
+    /// of other open tasks, all filtered to capacity > 0.
+    fn candidate_tasks(&mut self, active: &[WorkerId]) -> Vec<TaskId> {
+        let mut cand: BTreeSet<u32> = BTreeSet::new();
+        if self.open.len() <= self.candidate_limit {
+            cand.extend(self.open.iter().copied());
+        } else {
+            // Tasks the graph can say anything about for these workers.
+            for &w in active {
+                if let Some(observed) = self.estimator.observed(w) {
+                    let seeds: Vec<TaskId> = observed.keys().map(|&t| TaskId(t)).collect();
+                    for t in self.estimator.index().influence_support(&seeds) {
+                        if self.open.contains(&t) {
+                            cand.insert(t);
+                        }
+                    }
+                }
+            }
+            // Rotating sample of further open tasks for exploration.
+            let sample = self.candidate_limit.saturating_sub(cand.len());
+            let mut taken = 0usize;
+            let mut wrapped = false;
+            let mut cursor = self.open_cursor;
+            while taken < sample {
+                let next = self.open.range(cursor..).next().copied();
+                match next {
+                    Some(t) => {
+                        cand.insert(t);
+                        taken += 1;
+                        cursor = t + 1;
+                    }
+                    None if !wrapped => {
+                        wrapped = true;
+                        cursor = 0;
+                    }
+                    None => break,
+                }
+            }
+            self.open_cursor = cursor;
+        }
+        cand.into_iter()
+            .map(TaskId)
+            .filter(|&t| self.remaining_capacity(t) > 0)
+            .collect()
+    }
+
+    /// Algorithm 2 for one requesting worker.
+    fn adaptive_assign(&mut self, worker: WorkerId, now: Tick) -> Option<TaskId> {
+        let mut active = self.activity.active_workers(now);
+        if !active.contains(&worker) {
+            active.push(worker);
+        }
+        // Keep only workers free to take a task right now.
+        active.retain(|&w| self.in_flight.get(w.index()).copied().flatten().is_none());
+        if !active.contains(&worker) {
+            return None;
+        }
+
+        let candidates = self.candidate_tasks(&active);
+        if candidates.is_empty() {
+            return None;
+        }
+        // Per-worker estimates over the candidate pool. On small task
+        // sets the dense per-worker cache amortizes across requests; past
+        // the candidate limit the sparse path keeps cost independent of
+        // |T| (Figure 10).
+        let use_sparse = self.tasks.len() > self.candidate_limit;
+        let acc: Vec<Vec<f64>> = active
+            .iter()
+            .map(|&w| {
+                if use_sparse {
+                    self.estimator.accuracies_for(w, &candidates)
+                } else {
+                    self.estimator.accuracies(w);
+                    candidates
+                        .iter()
+                        .map(|&t| self.estimator.accuracy_cached(w, t))
+                        .collect()
+                }
+            })
+            .collect();
+
+        // Step 1: top worker sets.
+        let mut sets: Vec<TopWorkerSet> = Vec::with_capacity(candidates.len());
+        for (ci, &t) in candidates.iter().enumerate() {
+            let remaining = self.remaining_capacity(t);
+            if remaining == 0 {
+                continue;
+            }
+            let eligible = active
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| self.eligible(w, t))
+                .map(|(wi, &w)| (w, acc[wi][ci]));
+            let set = top_worker_set(t, eligible, remaining);
+            if !set.workers.is_empty() {
+                sets.push(set);
+            }
+        }
+
+        // Step 2: greedy optimal assignment; serve the requester if some
+        // winning set contains her.
+        let scheme = greedy_assign(&sets);
+        if let Some(assignment) = scheme
+            .iter()
+            .find(|a| a.worker_ids().any(|w| w == worker))
+        {
+            return Some(assignment.task);
+        }
+
+        // The requester is a top worker for some tasks but lost the
+        // packing to conflicts. Only her own assignment is executed right
+        // now (the other winning sets re-form at their workers' next
+        // requests), so serve her the task "to which w can contribute the
+        // most" (Section 4.1): her best accuracy among the sets that
+        // contain her. Step-3 testing is reserved for workers who are top
+        // workers for NO task.
+        if let Some(task) = sets
+            .iter()
+            .filter_map(|set| {
+                set.workers
+                    .iter()
+                    .find(|&&(w, _)| w == worker)
+                    .map(|&(_, p)| (set.task, p, set.average_accuracy()))
+            })
+            .max_by(|(ta, pa, aa), (tb, pb, ab)| {
+                pa.partial_cmp(pb)
+                    .unwrap()
+                    .then(aa.partial_cmp(ab).unwrap())
+                    .then(tb.cmp(ta))
+            })
+            .map(|(t, _, _)| t)
+        {
+            return Some(task);
+        }
+
+        // Step 3: performance testing. On huge candidate pools a strided
+        // sample suffices — any reasonably uncertain task does the job,
+        // and scanning co-workers of thousands of tasks would reintroduce
+        // the per-request cost the candidate cap removed.
+        const MAX_TEST_CANDIDATES: usize = 256;
+        let eligible: Vec<TaskId> = candidates
+            .iter()
+            .copied()
+            .filter(|&t| self.eligible(worker, t) && self.remaining_capacity(t) > 0)
+            .collect();
+        let stride = (eligible.len() / MAX_TEST_CANDIDATES).max(1);
+        let test_candidates: Vec<(TaskId, Vec<WorkerId>)> = eligible
+            .iter()
+            .step_by(stride)
+            .map(|&t| (t, self.capacity_holders(t)))
+            .collect();
+        let pick = performance_test_assignment(&mut self.estimator, worker, &test_candidates);
+        if pick.is_some() {
+            self.test_assignments += 1;
+        }
+        pick
+    }
+
+    /// The BestEffort strategy: the requester's own best eligible task.
+    /// (`now` is deliberately unused: BestEffort ignores the rest of the
+    /// crowd by definition.)
+    fn best_effort_assign(&mut self, worker: WorkerId, _now: Tick) -> Option<TaskId> {
+        let active = vec![worker];
+        let candidates: Vec<TaskId> = self
+            .candidate_tasks(&active)
+            .into_iter()
+            .filter(|&t| self.eligible(worker, t) && self.remaining_capacity(t) > 0)
+            .collect();
+        let acc = if self.tasks.len() > self.candidate_limit {
+            self.estimator.accuracies_for(worker, &candidates)
+        } else {
+            self.estimator.accuracies(worker);
+            candidates
+                .iter()
+                .map(|&t| self.estimator.accuracy_cached(worker, t))
+                .collect()
+        };
+        candidates
+            .into_iter()
+            .zip(acc)
+            .max_by(|(ta, a), (tb, b)| a.partial_cmp(b).unwrap().then(tb.cmp(ta)))
+            .map(|(t, _)| t)
+    }
+
+    /// Records a regular assignment as in flight.
+    fn mark_in_flight(&mut self, worker: WorkerId, task: TaskId, kind: AssignmentKind) {
+        self.in_flight[worker.index()] = Some((task, kind));
+        if kind == AssignmentKind::Regular {
+            if self.inflight_workers.len() <= task.index() {
+                self.inflight_workers.resize(task.index() + 1, Vec::new());
+            }
+            self.inflight_workers[task.index()].push(worker);
+            self.regular_assignments[worker.index()] += 1;
+        }
+    }
+}
+
+impl ExternalQuestionServer for ICrowd {
+    fn request_task(&mut self, external: &str, now: Tick) -> Option<TaskId> {
+        let worker = self.worker_id(external, now);
+        self.activity.touch(worker, now);
+        if self
+            .activity
+            .record(worker)
+            .is_some_and(|r| r.rejected)
+        {
+            self.declined_requests += 1;
+            return None;
+        }
+        self.purge_stale_inflight(now);
+
+        // Idempotent re-request: hand back the task already in flight.
+        if let Some((task, _)) = self.in_flight[worker.index()] {
+            return Some(task);
+        }
+
+        // Warm-up: qualification microtasks first.
+        if self.warmup.in_warmup(worker) {
+            let task = self.warmup.next_task(worker).expect("in_warmup checked");
+            self.mark_in_flight(worker, task, AssignmentKind::Warmup);
+            return Some(task);
+        }
+
+        let assigned = match self.strategy {
+            AssignStrategy::Adapt | AssignStrategy::QfOnly => self.adaptive_assign(worker, now),
+            AssignStrategy::BestEffort => self.best_effort_assign(worker, now),
+        };
+        match assigned {
+            Some(task) => {
+                self.mark_in_flight(worker, task, AssignmentKind::Regular);
+                Some(task)
+            }
+            None => {
+                self.declined_requests += 1;
+                None
+            }
+        }
+    }
+
+    fn submit_answer(&mut self, external: &str, task: TaskId, answer: Answer, now: Tick) {
+        let worker = self.worker_id(external, now);
+        self.activity.touch(worker, now);
+
+        let kind = match self.in_flight[worker.index()].take() {
+            Some((t, kind)) if t == task => kind,
+            // Tolerate protocol slop (late submits after a purge): grade a
+            // qualification task, otherwise treat as a regular vote.
+            _ => {
+                if self.warmup.in_warmup(worker) && self.warmup.next_task(worker) == Some(task) {
+                    AssignmentKind::Warmup
+                } else {
+                    AssignmentKind::Regular
+                }
+            }
+        };
+
+        match kind {
+            AssignmentKind::Warmup => {
+                let truth = self.tasks[task]
+                    .ground_truth
+                    .expect("qualification tasks carry ground truth");
+                self.estimator
+                    .record_qualification(worker, task, answer, truth);
+                self.warmup.advance(worker);
+                if self.estimator.should_reject(worker) {
+                    self.activity.reject(worker);
+                }
+            }
+            AssignmentKind::Regular => {
+                if let Some(v) = self.inflight_workers.get_mut(task.index()) {
+                    v.retain(|&x| x != worker);
+                }
+                let vote = Vote { worker, answer };
+                match self.consensus.record(task, vote) {
+                    Ok(_newly_completed) => {
+                        self.activity.record_completion(worker);
+                        // Budget-saving extension: complete early when the
+                        // posterior under current estimates is confident,
+                        // even before (k+1)/2 votes agree.
+                        if !self.consensus.is_completed(task) {
+                            if let Some(tau) = self.config.early_stop_confidence {
+                                let votes = self.consensus.votes(task).votes().to_vec();
+                                let num_choices = self.tasks[task].num_choices;
+                                let posterior = icrowd_core::probability::vote_posterior(
+                                    &votes,
+                                    num_choices,
+                                    |w| self.estimator.accuracies_for(w, &[task])[0],
+                                );
+                                if let Some((ans, conf)) = posterior {
+                                    if conf >= tau {
+                                        self.consensus.preset(task, ans);
+                                        self.early_stops += 1;
+                                    }
+                                }
+                            }
+                        }
+                        if self.consensus.is_completed(task) {
+                            self.open.remove(&task.0);
+                            if self.strategy != AssignStrategy::QfOnly {
+                                let consensus_ans = self
+                                    .consensus
+                                    .consensus(task)
+                                    .expect("completed task has consensus");
+                                let votes = self.consensus.votes(task).votes().to_vec();
+                                self.estimator
+                                    .record_completed_task(task, &votes, consensus_ans);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Duplicate or over-capacity vote (protocol slop):
+                        // drop it rather than poison the campaign.
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.consensus.all_completed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::Microtask;
+    use icrowd_text::metric::MatrixSimilarity;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    /// Six binary tasks in two topical blocks (0-2 and 3-5), all ground
+    /// truth YES, block-diagonal similarity.
+    fn setup(strategy: AssignStrategy, num_qual: usize) -> ICrowd {
+        let tasks: TaskSet = (0..6)
+            .map(|i| {
+                Microtask::binary(TaskId(i), format!("task {i}")).with_ground_truth(Answer::YES)
+            })
+            .collect();
+        let edges = vec![
+            (t(0), t(1), 0.9),
+            (t(1), t(2), 0.9),
+            (t(0), t(2), 0.9),
+            (t(3), t(4), 0.9),
+            (t(4), t(5), 0.9),
+            (t(3), t(5), 0.9),
+        ];
+        let metric = MatrixSimilarity::from_edges(&tasks, &edges, "blocks");
+        let config = ICrowdConfig {
+            similarity_threshold: 0.5,
+            warmup: icrowd_core::config::WarmupConfig {
+                num_qualification: num_qual,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        ICrowdBuilder::new(tasks)
+            .config(config)
+            .strategy(strategy)
+            .metric(&metric)
+            .build()
+    }
+
+    #[test]
+    fn new_workers_get_qualification_first() {
+        let mut srv = setup(AssignStrategy::Adapt, 2);
+        let quals = srv.warmup().qualification_tasks().to_vec();
+        assert_eq!(quals.len(), 2);
+        let first = srv.request_task("A", Tick(0)).unwrap();
+        assert_eq!(first, quals[0]);
+        srv.submit_answer("A", first, Answer::YES, Tick(1));
+        let second = srv.request_task("A", Tick(2)).unwrap();
+        assert_eq!(second, quals[1]);
+        srv.submit_answer("A", second, Answer::YES, Tick(3));
+        // Out of warm-up: next assignment is a regular task.
+        let third = srv.request_task("A", Tick(4)).unwrap();
+        assert!(srv.assignment_distribution()[0] == 1);
+        assert!(!quals.contains(&third) || srv.consensus().votes(third).is_empty());
+    }
+
+    #[test]
+    fn re_request_is_idempotent() {
+        let mut srv = setup(AssignStrategy::Adapt, 1);
+        let a = srv.request_task("A", Tick(0)).unwrap();
+        let b = srv.request_task("A", Tick(1)).unwrap();
+        assert_eq!(a, b, "unanswered assignment is handed back");
+    }
+
+    #[test]
+    fn bad_workers_get_rejected_and_declined() {
+        let mut srv = setup(AssignStrategy::Adapt, 6);
+        // Answer five qualification tasks wrong (ground truth YES).
+        for i in 0..5 {
+            let task = srv.request_task("BAD", Tick(i)).unwrap();
+            srv.submit_answer("BAD", task, Answer::NO, Tick(i));
+        }
+        // Rejected now: no more assignments.
+        assert_eq!(srv.request_task("BAD", Tick(10)), None);
+        assert!(srv.declined_requests() >= 1);
+    }
+
+    #[test]
+    fn campaign_completes_and_results_match_crowd() {
+        let mut srv = setup(AssignStrategy::Adapt, 1);
+        // Three always-correct workers churn until everything completes.
+        let mut tick = 0u64;
+        let mut guard = 0;
+        while !srv.is_complete() {
+            guard += 1;
+            assert!(guard < 500, "campaign did not converge");
+            for name in ["A", "B", "C"] {
+                if srv.is_complete() {
+                    break;
+                }
+                if let Some(task) = srv.request_task(name, Tick(tick)) {
+                    srv.submit_answer(name, task, Answer::YES, Tick(tick));
+                }
+                tick += 1;
+            }
+        }
+        let results = srv.results();
+        assert_eq!(results.len(), 6);
+        assert!(results.values().all(|&a| a == Answer::YES));
+        // 1 qualification task is preset; the other 5 complete with 2-3
+        // votes each under early consensus.
+        let total: u32 = srv.assignment_distribution().iter().sum();
+        assert!((10..=15).contains(&total), "regular assignments: {total}");
+    }
+
+    #[test]
+    fn workers_never_see_a_task_twice() {
+        let mut srv = setup(AssignStrategy::Adapt, 2);
+        let mut seen = std::collections::HashSet::new();
+        let mut tick = 0;
+        while let Some(task) = srv.request_task("A", Tick(tick)) {
+            assert!(seen.insert(task), "task {task} assigned twice to A");
+            srv.submit_answer("A", task, Answer::YES, Tick(tick));
+            tick += 1;
+            if tick > 50 {
+                break;
+            }
+        }
+        // 2 warm-up + 6 regular = at most 8 distinct tasks.
+        assert!(seen.len() <= 8);
+    }
+
+    #[test]
+    fn best_effort_assigns_workers_own_best_task() {
+        let mut srv = setup(AssignStrategy::BestEffort, 2);
+        let quals = srv.warmup().qualification_tasks().to_vec();
+        // Complete warm-up: right on the first qual, wrong on the second.
+        // (Quals land in different blocks by influence maximization.)
+        let q0 = srv.request_task("A", Tick(0)).unwrap();
+        srv.submit_answer("A", q0, Answer::YES, Tick(0));
+        let q1 = srv.request_task("A", Tick(1)).unwrap();
+        srv.submit_answer("A", q1, Answer::NO, Tick(1));
+        assert_eq!(vec![q0, q1], quals);
+        // The next assignment lies in the block of the correct answer.
+        let next = srv.request_task("A", Tick(2)).unwrap();
+        let block_of = |task: TaskId| task.index() / 3;
+        assert_eq!(
+            block_of(next),
+            block_of(q0),
+            "BestEffort should pick from the block the worker aced"
+        );
+    }
+
+    #[test]
+    fn qf_only_freezes_estimation_after_warmup() {
+        let mut srv = setup(AssignStrategy::QfOnly, 1);
+        let q = srv.request_task("A", Tick(0)).unwrap();
+        srv.submit_answer("A", q, Answer::YES, Tick(0));
+        let baseline_obs = srv.estimator().num_observations(WorkerId(0));
+        // Complete a few regular tasks; observations must not grow.
+        for tick in 1..8 {
+            for name in ["A", "B", "C"] {
+                // B and C still need warm-up; let them flow through it.
+                if let Some(task) = srv.request_task(name, Tick(tick)) {
+                    srv.submit_answer(name, task, Answer::YES, Tick(tick));
+                }
+            }
+        }
+        assert_eq!(
+            srv.estimator().num_observations(WorkerId(0)),
+            baseline_obs,
+            "QF-Only must not accumulate post-warmup observations"
+        );
+    }
+
+    #[test]
+    fn weighted_results_cover_every_task_and_respect_gold() {
+        let mut srv = setup(AssignStrategy::Adapt, 2);
+        let quals = srv.warmup().qualification_tasks().to_vec();
+        let mut tick = 0u64;
+        while !srv.is_complete() {
+            for name in ["A", "B", "C"] {
+                if let Some(task) = srv.request_task(name, Tick(tick)) {
+                    srv.submit_answer(name, task, Answer::YES, Tick(tick));
+                }
+                tick += 1;
+            }
+            assert!(tick < 2000, "stalled");
+        }
+        let plain = srv.results();
+        let weighted = srv.results_weighted();
+        assert_eq!(weighted.len(), plain.len());
+        // Gold answers are requester labels in both.
+        for q in quals {
+            assert_eq!(weighted[&q], plain[&q]);
+        }
+        // With unanimous YES votes, the two aggregations agree entirely.
+        assert_eq!(weighted, plain);
+    }
+
+    #[test]
+    fn weighted_results_can_overturn_a_noisy_majority() {
+        // Task 1 gets votes NO (trusted expert) vs YES, YES (two workers
+        // with bad records): weighted aggregation should side with the
+        // expert while plain majority says YES.
+        let mut srv = setup(AssignStrategy::Adapt, 1);
+        let q = srv.warmup().qualification_tasks()[0];
+        // Build records: EXPERT aces the qual; DUD1/DUD2 flunk it.
+        for (name, ans) in [("EXPERT", Answer::YES), ("DUD1", Answer::NO), ("DUD2", Answer::NO)] {
+            let t0 = srv.request_task(name, Tick(0)).unwrap();
+            assert_eq!(t0, q);
+            srv.submit_answer(name, t0, ans, Tick(0));
+        }
+        // Manually drive votes on one open task via the protocol.
+        let target = srv.request_task("EXPERT", Tick(1)).unwrap();
+        srv.submit_answer("EXPERT", target, Answer::NO, Tick(1));
+        // The duds vote YES on the same task (unsolicited-submit path
+        // records their votes even if assignment picked something else).
+        srv.submit_answer("DUD1", target, Answer::YES, Tick(2));
+        srv.submit_answer("DUD2", target, Answer::YES, Tick(2));
+
+        let plain = srv.results();
+        let mut weighted = srv.results_weighted();
+        assert_eq!(plain[&target], Answer::YES, "2-1 plain majority");
+        assert_eq!(
+            weighted.remove(&target),
+            Some(Answer::NO),
+            "estimate-weighted vote trusts the expert"
+        );
+    }
+
+    #[test]
+    fn early_stopping_saves_votes_when_confident() {
+        // Two workers with strong qualification records agree on the
+        // first vote pair; with early stopping at 0.8 the task completes
+        // after 2 votes even when the strict majority rule would need
+        // them to agree anyway — the interesting case is k = 5, where
+        // majority needs 3 votes but confidence is reached at 2.
+        let tasks: TaskSet = (0..4)
+            .map(|i| {
+                Microtask::binary(TaskId(i), format!("task {i}")).with_ground_truth(Answer::YES)
+            })
+            .collect();
+        let edges = vec![(t(0), t(1), 0.9), (t(1), t(2), 0.9), (t(2), t(3), 0.9)];
+        let metric = MatrixSimilarity::from_edges(&tasks, &edges, "chain");
+        let config = ICrowdConfig {
+            assignment_size: 5,
+            similarity_threshold: 0.5,
+            early_stop_confidence: Some(0.8),
+            warmup: icrowd_core::config::WarmupConfig {
+                num_qualification: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut srv = ICrowdBuilder::new(tasks)
+            .config(config)
+            .metric(&metric)
+            .build();
+        let mut tick = 0u64;
+        let mut guard = 0;
+        while !srv.is_complete() {
+            guard += 1;
+            assert!(guard < 300, "early-stop campaign stalled");
+            for name in ["A", "B", "C"] {
+                if let Some(task) = srv.request_task(name, Tick(tick)) {
+                    srv.submit_answer(name, task, Answer::YES, Tick(tick));
+                }
+                tick += 1;
+            }
+        }
+        assert!(
+            srv.early_stops() > 0,
+            "confident unanimous pairs should stop tasks early"
+        );
+        // Early stopping saved votes: fewer than k = 5 votes per task.
+        let total: u32 = srv.assignment_distribution().iter().sum();
+        assert!(total < 2 * 5, "saved votes: only {total} regular answers");
+        assert!(srv.results().values().all(|&a| a == Answer::YES));
+    }
+
+    #[test]
+    fn candidate_limit_still_completes_campaigns() {
+        let tasks: TaskSet = (0..12)
+            .map(|i| {
+                Microtask::binary(TaskId(i), format!("task {i}")).with_ground_truth(Answer::YES)
+            })
+            .collect();
+        let metric = MatrixSimilarity::from_edges(&tasks, &[], "empty");
+        let mut srv = ICrowdBuilder::new(tasks)
+            .config(ICrowdConfig {
+                warmup: icrowd_core::config::WarmupConfig {
+                    num_qualification: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .metric(&metric)
+            .candidate_limit(3)
+            .build();
+        let mut tick = 0u64;
+        let mut guard = 0;
+        while !srv.is_complete() {
+            guard += 1;
+            assert!(guard < 2000, "campaign stalled under candidate_limit");
+            for name in ["A", "B", "C", "D"] {
+                if let Some(task) = srv.request_task(name, Tick(tick)) {
+                    srv.submit_answer(name, task, Answer::YES, Tick(tick));
+                }
+                tick += 1;
+            }
+        }
+    }
+
+    use icrowd_core::worker::WorkerId;
+}

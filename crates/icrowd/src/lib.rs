@@ -1,0 +1,91 @@
+//! # iCrowd — an adaptive crowdsourcing framework
+//!
+//! A from-scratch Rust implementation of *iCrowd: An Adaptive
+//! Crowdsourcing Framework* (Fan, Li, Ooi, Tan, Feng — SIGMOD 2015).
+//!
+//! iCrowd raises crowdsourcing quality by exploiting *accuracy
+//! diversity*: workers are good at tasks in domains they know and poor
+//! elsewhere, so instead of assigning microtasks randomly it
+//!
+//! 1. **estimates** each worker's per-task accuracy on-the-fly from her
+//!    globally completed microtasks, propagating evidence over a
+//!    *similarity graph* with personalized PageRank (Section 3);
+//! 2. **assigns** each requesting worker the microtask where she ranks
+//!    among the top workers, solving a (NP-hard) disjoint top-worker-set
+//!    packing greedily (Section 4); and
+//! 3. **warms up** new workers on influence-maximizing qualification
+//!    microtasks, rejecting those below threshold (Sections 2.2 and 5).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use icrowd::{AssignStrategy, ICrowd, ICrowdBuilder};
+//! use icrowd::core::{Answer, ICrowdConfig, Microtask, TaskId, TaskSet, Tick};
+//! use icrowd::platform::ExternalQuestionServer;
+//!
+//! // Three tiny entity-resolution microtasks.
+//! let tasks: TaskSet = [
+//!     "iphone 4 wifi 32gb | iphone four 3g black",
+//!     "iphone four wifi 16gb | iphone four 3g 16gb",
+//!     "ipod touch 32gb wifi | ipod touch headphone",
+//! ]
+//! .iter()
+//! .enumerate()
+//! .map(|(i, text)| {
+//!     Microtask::binary(TaskId(i as u32), *text).with_ground_truth(Answer::NO)
+//! })
+//! .collect();
+//!
+//! let mut server = ICrowdBuilder::new(tasks)
+//!     .config(ICrowdConfig {
+//!         similarity_threshold: 0.2,
+//!         ..Default::default()
+//!     })
+//!     .strategy(AssignStrategy::Adapt)
+//!     .build();
+//!
+//! // The platform calls this on every worker request ...
+//! let assigned = server.request_task("AMT-WORKER-1", Tick(0));
+//! assert!(assigned.is_some());
+//! // ... and this on every answer.
+//! server.submit_answer("AMT-WORKER-1", assigned.unwrap(), Answer::NO, Tick(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::dbg_macro)]
+
+pub mod framework;
+pub mod warmup;
+
+pub use framework::{AssignStrategy, ICrowd, ICrowdBuilder};
+pub use warmup::WarmUp;
+
+/// Re-export of the foundational types crate.
+pub mod core {
+    pub use icrowd_core::*;
+}
+
+/// Re-export of the similarity-metric crate.
+pub mod text {
+    pub use icrowd_text::*;
+}
+
+/// Re-export of the graph/PPR crate.
+pub mod graph {
+    pub use icrowd_graph::*;
+}
+
+/// Re-export of the estimation crate.
+pub mod estimate {
+    pub use icrowd_estimate::*;
+}
+
+/// Re-export of the assignment crate.
+pub mod assign {
+    pub use icrowd_assign::*;
+}
+
+/// Re-export of the platform-simulator crate.
+pub mod platform {
+    pub use icrowd_platform::*;
+}

@@ -1,0 +1,137 @@
+//! The Warm-Up component — Section 2.2 of the paper.
+//!
+//! New workers present a cold-start problem: with no globally completed
+//! microtasks there is nothing to estimate accuracies from. Warm-Up
+//! administers the pre-selected qualification microtasks (with requester
+//! ground truth) to every new worker, in selection order; the framework
+//! grades each answer immediately and rejects workers whose average
+//! accuracy falls below threshold.
+
+use icrowd_core::task::TaskId;
+use icrowd_core::worker::WorkerId;
+
+/// Tracks each worker's progress through the qualification microtasks.
+#[derive(Debug, Clone)]
+pub struct WarmUp {
+    qualification: Vec<TaskId>,
+    /// Next qualification index per worker (== len means done).
+    progress: Vec<usize>,
+}
+
+impl WarmUp {
+    /// Creates warm-up state over the selected qualification microtasks
+    /// (administered in the given order).
+    pub fn new(qualification: Vec<TaskId>) -> Self {
+        Self {
+            qualification,
+            progress: Vec::new(),
+        }
+    }
+
+    /// The qualification microtasks, in administration order.
+    pub fn qualification_tasks(&self) -> &[TaskId] {
+        &self.qualification
+    }
+
+    fn ensure(&mut self, worker: WorkerId) {
+        if self.progress.len() <= worker.index() {
+            self.progress.resize(worker.index() + 1, 0);
+        }
+    }
+
+    /// The next qualification microtask for `worker`, or `None` when she
+    /// has finished warm-up.
+    pub fn next_task(&mut self, worker: WorkerId) -> Option<TaskId> {
+        self.ensure(worker);
+        self.qualification
+            .get(self.progress[worker.index()])
+            .copied()
+    }
+
+    /// Marks the current qualification microtask of `worker` as answered.
+    pub fn advance(&mut self, worker: WorkerId) {
+        self.ensure(worker);
+        let p = &mut self.progress[worker.index()];
+        *p = (*p + 1).min(self.qualification.len());
+    }
+
+    /// Whether `worker` is still inside warm-up.
+    pub fn in_warmup(&self, worker: WorkerId) -> bool {
+        match self.progress.get(worker.index()) {
+            Some(&p) => p < self.qualification.len(),
+            None => !self.qualification.is_empty(),
+        }
+    }
+
+    /// Number of qualification answers `worker` has given.
+    pub fn answered(&self, worker: WorkerId) -> usize {
+        self.progress.get(worker.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether `task` is one of the qualification microtasks.
+    pub fn is_qualification(&self, task: TaskId) -> bool {
+        self.qualification.contains(&task)
+    }
+
+    /// Whether `worker` already answered `task` during warm-up.
+    pub fn has_answered(&self, worker: WorkerId, task: TaskId) -> bool {
+        let done = self.answered(worker);
+        self.qualification[..done.min(self.qualification.len())].contains(&task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    fn w(i: u32) -> WorkerId {
+        WorkerId(i)
+    }
+
+    #[test]
+    fn administers_in_order_then_finishes() {
+        let mut wu = WarmUp::new(vec![t(3), t(1), t(7)]);
+        assert!(wu.in_warmup(w(0)));
+        assert_eq!(wu.next_task(w(0)), Some(t(3)));
+        wu.advance(w(0));
+        assert_eq!(wu.next_task(w(0)), Some(t(1)));
+        wu.advance(w(0));
+        assert_eq!(wu.answered(w(0)), 2);
+        wu.advance(w(0));
+        assert_eq!(wu.next_task(w(0)), None);
+        assert!(!wu.in_warmup(w(0)));
+        // Advancing past the end is harmless.
+        wu.advance(w(0));
+        assert_eq!(wu.answered(w(0)), 3);
+    }
+
+    #[test]
+    fn workers_progress_independently() {
+        let mut wu = WarmUp::new(vec![t(0), t(1)]);
+        wu.advance(w(0));
+        assert_eq!(wu.next_task(w(0)), Some(t(1)));
+        assert_eq!(wu.next_task(w(5)), Some(t(0)), "fresh worker starts over");
+    }
+
+    #[test]
+    fn has_answered_reflects_progress_only() {
+        let mut wu = WarmUp::new(vec![t(4), t(2)]);
+        assert!(!wu.has_answered(w(0), t(4)));
+        wu.advance(w(0));
+        assert!(wu.has_answered(w(0), t(4)));
+        assert!(!wu.has_answered(w(0), t(2)));
+        assert!(wu.is_qualification(t(2)));
+        assert!(!wu.is_qualification(t(9)));
+    }
+
+    #[test]
+    fn empty_qualification_means_no_warmup() {
+        let mut wu = WarmUp::new(vec![]);
+        assert!(!wu.in_warmup(w(0)));
+        assert_eq!(wu.next_task(w(0)), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! Concurrent deployment of the ExternalQuestion loop.
+//!
+//! The sequential [`crate::market`] loop interleaves workers on a logical
+//! clock; this module instead puts every worker on a real thread talking
+//! to the server over channels — the shape of the actual AMT deployment,
+//! where requests arrive concurrently and the assigner must answer each
+//! one instantly. The server remains single-threaded (iCrowd's Appendix-A
+//! web server is one process serializing requests); crossbeam channels
+//! provide the mailbox.
+//!
+//! Runs are not bit-deterministic (thread scheduling orders requests),
+//! so tests assert aggregate invariants: every answer is recorded once,
+//! counts match, and sequential and concurrent modes collect the same
+//! number of answers.
+
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::{Microtask, TaskId, TaskSet};
+use icrowd_core::worker::Tick;
+
+use crate::market::{ExternalQuestionServer, WorkerBehavior};
+
+/// What a concurrent run produced.
+#[derive(Debug)]
+pub struct ConcurrentOutcome {
+    /// Total answers collected.
+    pub answers: usize,
+    /// Answers per worker, in input order.
+    pub per_worker: Vec<usize>,
+}
+
+enum Msg {
+    Request {
+        worker: usize,
+        reply: Sender<Option<Microtask>>,
+    },
+    Submit {
+        worker: usize,
+        task: TaskId,
+        answer: Answer,
+    },
+    Done,
+}
+
+/// Drives `behaviors` on worker threads against `server` until the
+/// campaign completes or every worker gives up.
+///
+/// Each worker requests, answers, and submits in a loop, leaving when the
+/// server declines her or she reaches `max_answers_per_worker`. External
+/// ids are `"W1"`, `"W2"`, ... matching the sequential runner.
+pub fn run_concurrent(
+    tasks: &TaskSet,
+    server: &mut dyn ExternalQuestionServer,
+    behaviors: Vec<Box<dyn WorkerBehavior + Send>>,
+    max_answers_per_worker: usize,
+) -> ConcurrentOutcome {
+    let num_workers = behaviors.len();
+    let tasks = Arc::new(tasks.clone());
+    let (tx, rx) = unbounded::<Msg>();
+    let per_worker = Arc::new(Mutex::new(vec![0usize; num_workers]));
+
+    std::thread::scope(|scope| {
+        for (wi, mut behavior) in behaviors.into_iter().enumerate() {
+            let tx = tx.clone();
+            let per_worker = Arc::clone(&per_worker);
+            scope.spawn(move || {
+                let (reply_tx, reply_rx) = unbounded::<Option<Microtask>>();
+                let mut answered = 0usize;
+                while answered < max_answers_per_worker {
+                    if tx
+                        .send(Msg::Request {
+                            worker: wi,
+                            reply: reply_tx.clone(),
+                        })
+                        .is_err()
+                    {
+                        break; // server hung up: campaign over
+                    }
+                    match reply_rx.recv() {
+                        Ok(Some(task)) => {
+                            let answer = behavior.answer(&task);
+                            answered += 1;
+                            if tx
+                                .send(Msg::Submit {
+                                    worker: wi,
+                                    task: task.id,
+                                    answer,
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        _ => break, // declined or channel closed
+                    }
+                }
+                per_worker.lock()[wi] += answered;
+                let _ = tx.send(Msg::Done);
+            });
+        }
+        drop(tx); // server loop ends when all workers hang up
+
+        // The single-threaded server loop: a logical tick per message.
+        let mut clock = 0u64;
+        let mut active = num_workers;
+        let mut answers = 0usize;
+        while active > 0 {
+            let Ok(msg) = rx.recv() else { break };
+            clock += 1;
+            let now = Tick(clock);
+            match msg {
+                Msg::Request { worker, reply } => {
+                    let external = format!("W{}", worker + 1);
+                    let assigned = if server.is_complete() {
+                        None
+                    } else {
+                        server.request_task(&external, now)
+                    };
+                    let _ = reply.send(assigned.map(|t| tasks[t].clone()));
+                }
+                Msg::Submit {
+                    worker,
+                    task,
+                    answer,
+                } => {
+                    let external = format!("W{}", worker + 1);
+                    server.submit_answer(&external, task, answer, now);
+                    answers += 1;
+                }
+                Msg::Done => active -= 1,
+            }
+        }
+
+        let per_worker = per_worker.lock().clone();
+        ConcurrentOutcome {
+            answers,
+            per_worker,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Server assigning each task to `k` distinct workers.
+    struct CountServer {
+        k: usize,
+        counts: Vec<usize>,
+        answered_by: Vec<Vec<String>>,
+    }
+
+    impl CountServer {
+        fn new(n: usize, k: usize) -> Self {
+            Self {
+                k,
+                counts: vec![0; n],
+                answered_by: vec![Vec::new(); n],
+            }
+        }
+    }
+
+    impl ExternalQuestionServer for CountServer {
+        fn request_task(&mut self, worker: &str, _now: Tick) -> Option<TaskId> {
+            // Count in-flight assignments too, so concurrent workers don't
+            // oversubscribe a task: track by provisional increment.
+            let i = (0..self.counts.len()).find(|&i| {
+                self.counts[i] < self.k && !self.answered_by[i].iter().any(|w| w == worker)
+            })?;
+            self.counts[i] += 1;
+            self.answered_by[i].push(worker.to_owned());
+            Some(TaskId(i as u32))
+        }
+
+        fn submit_answer(&mut self, _worker: &str, _task: TaskId, _answer: Answer, _now: Tick) {}
+
+        fn is_complete(&self) -> bool {
+            self.counts.iter().all(|&c| c >= self.k)
+        }
+    }
+
+    struct YesBehavior;
+    impl WorkerBehavior for YesBehavior {
+        fn answer(&mut self, _task: &Microtask) -> Answer {
+            Answer::YES
+        }
+    }
+
+    fn tasks(n: u32) -> TaskSet {
+        (0..n)
+            .map(|i| Microtask::binary(TaskId(i), format!("task {i}")))
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_campaign_completes_with_exact_counts() {
+        let ts = tasks(8);
+        let mut server = CountServer::new(8, 3);
+        let behaviors: Vec<Box<dyn WorkerBehavior + Send>> =
+            (0..4).map(|_| Box::new(YesBehavior) as _).collect();
+        let outcome = run_concurrent(&ts, &mut server, behaviors, usize::MAX);
+        assert!(server.is_complete());
+        assert_eq!(outcome.answers, 24, "8 tasks x 3 assignments");
+        assert_eq!(outcome.per_worker.iter().sum::<usize>(), 24);
+        for by in &server.answered_by {
+            let mut sorted = by.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), by.len(), "no worker repeats a task");
+        }
+    }
+
+    #[test]
+    fn per_worker_budget_is_respected() {
+        let ts = tasks(10);
+        let mut server = CountServer::new(10, 1);
+        let behaviors: Vec<Box<dyn WorkerBehavior + Send>> =
+            (0..2).map(|_| Box::new(YesBehavior) as _).collect();
+        let outcome = run_concurrent(&ts, &mut server, behaviors, 3);
+        for &c in &outcome.per_worker {
+            assert!(c <= 3);
+        }
+        assert!(outcome.answers <= 6);
+    }
+
+    #[test]
+    fn empty_worker_pool_is_a_noop() {
+        let ts = tasks(3);
+        let mut server = CountServer::new(3, 1);
+        let outcome = run_concurrent(&ts, &mut server, Vec::new(), 10);
+        assert_eq!(outcome.answers, 0);
+        assert!(outcome.per_worker.is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Structured marketplace event log.
+//!
+//! Every observable interaction on the simulated platform is recorded as
+//! a [`MarketEvent`]; the log serializes to JSON lines for replay and
+//! debugging, and the integration tests assert accounting invariants over
+//! it (e.g. every payment is preceded by enough submissions).
+
+use serde::{Deserialize, Serialize};
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::TaskId;
+use icrowd_core::worker::Tick;
+
+use crate::hit::HitId;
+
+/// One marketplace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MarketEvent {
+    /// A worker arrived and accepted a HIT.
+    HitAccepted {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+        /// The accepted HIT.
+        hit: HitId,
+    },
+    /// The server assigned a microtask to a requesting worker.
+    TaskAssigned {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+        /// The assigned microtask.
+        task: TaskId,
+    },
+    /// A worker requested work but the server had nothing for her.
+    RequestDeclined {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+    },
+    /// A worker submitted an answer.
+    AnswerSubmitted {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+        /// The answered microtask.
+        task: TaskId,
+        /// The answer.
+        answer: Answer,
+    },
+    /// A worker submitted a completed HIT and was paid.
+    HitSubmitted {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+        /// The submitted HIT.
+        hit: HitId,
+        /// The payment, in cents.
+        reward_cents: u32,
+    },
+    /// A worker abandoned her HIT (left before finishing).
+    HitAbandoned {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+        /// The abandoned HIT.
+        hit: HitId,
+    },
+}
+
+impl MarketEvent {
+    /// The event timestamp.
+    pub fn at(&self) -> Tick {
+        match self {
+            MarketEvent::HitAccepted { at, .. }
+            | MarketEvent::TaskAssigned { at, .. }
+            | MarketEvent::RequestDeclined { at, .. }
+            | MarketEvent::AnswerSubmitted { at, .. }
+            | MarketEvent::HitSubmitted { at, .. }
+            | MarketEvent::HitAbandoned { at, .. } => *at,
+        }
+    }
+
+    /// The worker the event concerns.
+    pub fn worker(&self) -> &str {
+        match self {
+            MarketEvent::HitAccepted { worker, .. }
+            | MarketEvent::TaskAssigned { worker, .. }
+            | MarketEvent::RequestDeclined { worker, .. }
+            | MarketEvent::AnswerSubmitted { worker, .. }
+            | MarketEvent::HitSubmitted { worker, .. }
+            | MarketEvent::HitAbandoned { worker, .. } => worker,
+        }
+    }
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<MarketEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: MarketEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at() <= event.at()),
+            "events must arrive in tick order"
+        );
+        self.events.push(event);
+    }
+
+    /// All events, in arrival order.
+    pub fn events(&self) -> &[MarketEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the log as JSON lines.
+    pub fn to_json_lines(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("events serialize"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Parses a log from JSON lines.
+    ///
+    /// # Errors
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json_lines(s: &str) -> Result<Self, serde_json::Error> {
+        let events = s
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let events = [MarketEvent::HitAccepted {
+                at: Tick(1),
+                worker: "A".into(),
+                hit: HitId(0),
+            },
+            MarketEvent::TaskAssigned {
+                at: Tick(2),
+                worker: "A".into(),
+                task: TaskId(0),
+            },
+            MarketEvent::RequestDeclined {
+                at: Tick(3),
+                worker: "B".into(),
+            },
+            MarketEvent::AnswerSubmitted {
+                at: Tick(4),
+                worker: "A".into(),
+                task: TaskId(0),
+                answer: Answer::YES,
+            },
+            MarketEvent::HitSubmitted {
+                at: Tick(5),
+                worker: "A".into(),
+                hit: HitId(0),
+                reward_cents: 10,
+            },
+            MarketEvent::HitAbandoned {
+                at: Tick(6),
+                worker: "B".into(),
+                hit: HitId(1),
+            }];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.at(), Tick(i as u64 + 1));
+        }
+        assert_eq!(events[2].worker(), "B");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut log = EventLog::new();
+        log.push(MarketEvent::HitAccepted {
+            at: Tick(0),
+            worker: "A".into(),
+            hit: HitId(0),
+        });
+        log.push(MarketEvent::AnswerSubmitted {
+            at: Tick(1),
+            worker: "A".into(),
+            task: TaskId(7),
+            answer: Answer::NO,
+        });
+        let text = log.to_json_lines();
+        let parsed = EventLog::from_json_lines(&text).unwrap();
+        assert_eq!(parsed.events(), log.events());
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(EventLog::from_json_lines("not json").is_err());
+    }
+}

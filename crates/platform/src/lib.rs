@@ -1,0 +1,42 @@
+//! # icrowd-platform
+//!
+//! A simulated Amazon Mechanical Turk marketplace — the substitute for
+//! the live platform of the paper's Appendix A.
+//!
+//! The paper's deployment wraps microtasks in HITs carrying only an
+//! *ExternalQuestion* URL: when a worker accepts a HIT and asks for work,
+//! AMT calls iCrowd's web server, which decides the actual assignment;
+//! answers flow back the same way and iCrowd triggers payment through the
+//! AMT API. Everything iCrowd can observe of AMT is therefore the
+//! request → assign → answer → pay loop, and that loop is exactly what
+//! this crate simulates:
+//!
+//! * [`hit`] — HIT batches (10 microtasks per HIT, $0.10 per assignment
+//!   in the paper's setup) with bounded assignments per HIT.
+//! * [`session`] — per-worker HIT sessions (accept, work, submit,
+//!   abandon).
+//! * [`market`] — the deterministic event-driven marketplace loop
+//!   driving pluggable worker behaviours against a pluggable
+//!   [`ExternalQuestionServer`] (the role iCrowd or any baseline plays).
+//! * [`payment`] — the payment ledger.
+//! * [`events`] — a structured, serializable event log for replay and
+//!   debugging.
+//! * [`concurrent`] — a crossbeam-channel deployment of the same loop
+//!   with workers on real threads, used to demonstrate that assignment is
+//!   instant under concurrent request load.
+
+#![warn(missing_docs)]
+#![warn(clippy::dbg_macro)]
+
+pub mod concurrent;
+pub mod events;
+pub mod hit;
+pub mod market;
+pub mod payment;
+pub mod session;
+
+pub use events::{EventLog, MarketEvent};
+pub use hit::{HitId, HitPool};
+pub use market::{ExternalQuestionServer, MarketConfig, MarketOutcome, Marketplace, WorkerScript};
+pub use payment::PaymentLedger;
+pub use session::{SessionState, WorkerSession};

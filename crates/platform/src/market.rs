@@ -1,0 +1,585 @@
+//! The marketplace event loop.
+//!
+//! [`Marketplace::run_sequential`] drives a population of scripted
+//! workers against an [`ExternalQuestionServer`] — the role iCrowd (or a
+//! baseline) plays — reproducing the Appendix-A interaction: a worker
+//! accepts a HIT, repeatedly requests a microtask and submits an answer,
+//! and is paid when the HIT completes. The loop is event-driven over a
+//! logical [`Tick`] clock and fully deterministic: events are ordered by
+//! `(tick, sequence-number)`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::{Microtask, TaskId, TaskSet};
+use icrowd_core::worker::Tick;
+
+use crate::events::{EventLog, MarketEvent};
+use crate::hit::HitPool;
+use crate::payment::PaymentLedger;
+use crate::session::WorkerSession;
+
+/// The server side of the ExternalQuestion loop — implemented by iCrowd's
+/// adaptive assigner and by every baseline strategy.
+pub trait ExternalQuestionServer {
+    /// A worker identified by `worker` (AMT external id) requests a
+    /// microtask at `now`. Returns the assigned task, or `None` when the
+    /// server has nothing for this worker (rejected worker, no eligible
+    /// task, or campaign complete).
+    fn request_task(&mut self, worker: &str, now: Tick) -> Option<TaskId>;
+
+    /// The worker submits her answer to a previously assigned task.
+    fn submit_answer(&mut self, worker: &str, task: TaskId, answer: Answer, now: Tick);
+
+    /// Whether the campaign is finished (all microtasks globally
+    /// completed); the marketplace stops issuing requests once true.
+    fn is_complete(&self) -> bool;
+}
+
+/// How a simulated worker answers microtasks (implemented in
+/// `icrowd-sim`; behaviour is deliberately opaque to the platform).
+pub trait WorkerBehavior: Send {
+    /// Answers the given microtask.
+    fn answer(&mut self, task: &Microtask) -> Answer;
+}
+
+/// A worker's marketplace script: when she shows up and how she paces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerScript {
+    /// When the worker first arrives.
+    pub arrival: Tick,
+    /// Total microtasks she is willing to answer before leaving.
+    pub max_answers: usize,
+    /// Ticks taken per answered microtask.
+    pub ticks_per_answer: u64,
+}
+
+impl Default for WorkerScript {
+    fn default() -> Self {
+        Self {
+            arrival: Tick::ZERO,
+            max_answers: usize::MAX,
+            ticks_per_answer: 1,
+        }
+    }
+}
+
+/// Marketplace parameters (defaults mirror Section 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarketConfig {
+    /// Published HITs.
+    pub num_hits: usize,
+    /// "Number of Assignments per HIT" (the paper used 10).
+    pub assignments_per_hit: u32,
+    /// Microtasks per HIT (the paper used 10).
+    pub tasks_per_hit: usize,
+    /// Reward per completed assignment, in cents (the paper used 10¢).
+    pub reward_cents: u32,
+    /// Backoff before a declined worker retries.
+    pub retry_backoff: u64,
+    /// Declines tolerated before a worker gives up and leaves.
+    pub max_retries: u32,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        Self {
+            num_hits: 64,
+            assignments_per_hit: 10,
+            tasks_per_hit: 10,
+            reward_cents: 10,
+            retry_backoff: 5,
+            max_retries: 2,
+        }
+    }
+}
+
+/// What a marketplace run produced.
+#[derive(Debug)]
+pub struct MarketOutcome {
+    /// Payments made.
+    pub ledger: PaymentLedger,
+    /// The full event log.
+    pub events: EventLog,
+    /// When the last event happened.
+    pub end: Tick,
+    /// Total answers collected.
+    pub answers: usize,
+}
+
+/// The simulated marketplace.
+pub struct Marketplace {
+    tasks: TaskSet,
+    config: MarketConfig,
+}
+
+struct WorkerState<'a> {
+    external_id: String,
+    script: WorkerScript,
+    behavior: Box<dyn WorkerBehavior + 'a>,
+    session: Option<WorkerSession>,
+    answered_total: usize,
+    declines: u32,
+}
+
+impl Marketplace {
+    /// Creates a marketplace publishing HITs over `tasks`.
+    pub fn new(tasks: TaskSet, config: MarketConfig) -> Self {
+        Self { tasks, config }
+    }
+
+    /// The task set on offer.
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// Runs the event loop until the server reports completion, every
+    /// worker has left, or no events remain.
+    ///
+    /// `workers` pairs each behaviour with its script; external ids are
+    /// `"W1"`, `"W2"`, ... in input order.
+    pub fn run_sequential<'a>(
+        &self,
+        server: &mut dyn ExternalQuestionServer,
+        workers: Vec<(WorkerScript, Box<dyn WorkerBehavior + 'a>)>,
+    ) -> MarketOutcome {
+        let mut pool = HitPool::publish(
+            self.config.num_hits,
+            self.config.assignments_per_hit,
+            self.config.tasks_per_hit,
+            self.config.reward_cents,
+        );
+        let mut ledger = PaymentLedger::new();
+        let mut events = EventLog::new();
+        let mut end = Tick::ZERO;
+        let mut answers = 0usize;
+
+        let mut states: Vec<WorkerState<'a>> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, (script, behavior))| WorkerState {
+                external_id: format!("W{}", i + 1),
+                script,
+                behavior,
+                session: None,
+                answered_total: 0,
+                declines: 0,
+            })
+            .collect();
+
+        // Min-heap of (tick, sequence, worker index).
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, st) in states.iter().enumerate() {
+            heap.push(Reverse((st.script.arrival.0, seq, i)));
+            seq += 1;
+        }
+
+        while let Some(Reverse((tick, _, wi))) = heap.pop() {
+            let now = Tick(tick);
+            end = end.max(now);
+            let st = &mut states[wi];
+
+            // Campaign over: close out any open session and drop the worker.
+            if server.is_complete() {
+                Self::leave(st, &mut pool, &mut ledger, &mut events, now, &self.config);
+                continue;
+            }
+
+            // Worker exhausted her budget: leave.
+            if st.answered_total >= st.script.max_answers {
+                Self::leave(st, &mut pool, &mut ledger, &mut events, now, &self.config);
+                continue;
+            }
+
+            // Ensure the worker holds a HIT.
+            if st.session.is_none() {
+                match pool.accept_any() {
+                    Some(hit) => {
+                        st.session = Some(WorkerSession::open(st.external_id.clone(), hit, now));
+                        events.push(MarketEvent::HitAccepted {
+                            at: now,
+                            worker: st.external_id.clone(),
+                            hit,
+                        });
+                    }
+                    None => continue, // marketplace sold out; worker leaves
+                }
+            }
+
+            // Request a microtask.
+            match server.request_task(&st.external_id, now) {
+                Some(task) => {
+                    st.declines = 0;
+                    events.push(MarketEvent::TaskAssigned {
+                        at: now,
+                        worker: st.external_id.clone(),
+                        task,
+                    });
+                    let session = st.session.as_mut().expect("session ensured above");
+                    session.assign(task);
+                    let answer = st.behavior.answer(&self.tasks[task]);
+                    session.complete_task();
+                    st.answered_total += 1;
+                    answers += 1;
+                    events.push(MarketEvent::AnswerSubmitted {
+                        at: now,
+                        worker: st.external_id.clone(),
+                        task,
+                        answer,
+                    });
+                    server.submit_answer(&st.external_id, task, answer, now);
+
+                    // HIT complete → pay and release the session.
+                    if session.hit_finished(self.config.tasks_per_hit) {
+                        let hit = session.hit;
+                        session.close();
+                        st.session = None;
+                        ledger.pay(&st.external_id, hit, self.config.reward_cents);
+                        events.push(MarketEvent::HitSubmitted {
+                            at: now,
+                            worker: st.external_id.clone(),
+                            hit,
+                            reward_cents: self.config.reward_cents,
+                        });
+                    }
+                    heap.push(Reverse((now.0 + st.script.ticks_per_answer, seq, wi)));
+                    seq += 1;
+                }
+                None => {
+                    events.push(MarketEvent::RequestDeclined {
+                        at: now,
+                        worker: st.external_id.clone(),
+                    });
+                    st.declines += 1;
+                    if st.declines <= self.config.max_retries {
+                        heap.push(Reverse((now.0 + self.config.retry_backoff, seq, wi)));
+                        seq += 1;
+                    } else {
+                        Self::leave(st, &mut pool, &mut ledger, &mut events, now, &self.config);
+                    }
+                }
+            }
+        }
+
+        // Close any sessions still open when events ran out.
+        let final_tick = end;
+        for st in &mut states {
+            Self::leave(
+                st,
+                &mut pool,
+                &mut ledger,
+                &mut events,
+                final_tick,
+                &self.config,
+            );
+        }
+
+        MarketOutcome {
+            ledger,
+            events,
+            end,
+            answers,
+        }
+    }
+
+    /// Closes a worker's open session: pays a finished HIT, abandons a
+    /// partial one (returning the slot to the pool).
+    fn leave(
+        st: &mut WorkerState<'_>,
+        pool: &mut HitPool,
+        ledger: &mut PaymentLedger,
+        events: &mut EventLog,
+        now: Tick,
+        config: &MarketConfig,
+    ) {
+        let Some(mut session) = st.session.take() else {
+            return;
+        };
+        let hit = session.hit;
+        if session.hit_finished(config.tasks_per_hit) {
+            ledger.pay(&st.external_id, hit, config.reward_cents);
+            events.push(MarketEvent::HitSubmitted {
+                at: now,
+                worker: st.external_id.clone(),
+                hit,
+                reward_cents: config.reward_cents,
+            });
+        } else {
+            pool.release(hit);
+            events.push(MarketEvent::HitAbandoned {
+                at: now,
+                worker: st.external_id.clone(),
+                hit,
+            });
+        }
+        session.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::Microtask;
+
+    /// A server that hands out tasks round-robin until each has `k`
+    /// answers, never assigning the same task to a worker twice.
+    struct RoundRobinServer {
+        k: usize,
+        counts: Vec<usize>,
+        answered_by: Vec<Vec<String>>,
+    }
+
+    impl RoundRobinServer {
+        fn new(n: usize, k: usize) -> Self {
+            Self {
+                k,
+                counts: vec![0; n],
+                answered_by: vec![Vec::new(); n],
+            }
+        }
+    }
+
+    impl ExternalQuestionServer for RoundRobinServer {
+        fn request_task(&mut self, worker: &str, _now: Tick) -> Option<TaskId> {
+            (0..self.counts.len())
+                .find(|&i| {
+                    self.counts[i] < self.k
+                        && !self.answered_by[i].iter().any(|w| w == worker)
+                })
+                .map(|i| TaskId(i as u32))
+        }
+
+        fn submit_answer(&mut self, worker: &str, task: TaskId, _answer: Answer, _now: Tick) {
+            self.counts[task.index()] += 1;
+            self.answered_by[task.index()].push(worker.to_owned());
+        }
+
+        fn is_complete(&self) -> bool {
+            self.counts.iter().all(|&c| c >= self.k)
+        }
+    }
+
+    /// Always answers YES.
+    struct YesBehavior;
+    impl WorkerBehavior for YesBehavior {
+        fn answer(&mut self, _task: &Microtask) -> Answer {
+            Answer::YES
+        }
+    }
+
+    fn tasks(n: u32) -> TaskSet {
+        (0..n)
+            .map(|i| Microtask::binary(TaskId(i), format!("task {i}")))
+            .collect()
+    }
+
+    fn yes_workers(n: usize) -> Vec<(WorkerScript, Box<dyn WorkerBehavior>)> {
+        (0..n)
+            .map(|_| {
+                (
+                    WorkerScript::default(),
+                    Box::new(YesBehavior) as Box<dyn WorkerBehavior>,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn campaign_runs_to_completion() {
+        let market = Marketplace::new(tasks(6), MarketConfig::default());
+        let mut server = RoundRobinServer::new(6, 3);
+        let outcome = market.run_sequential(&mut server, yes_workers(4));
+        assert!(server.is_complete());
+        assert_eq!(outcome.answers, 18, "6 tasks x 3 assignments");
+        // No worker answered any task twice.
+        for by in &server.answered_by {
+            let mut sorted = by.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), by.len());
+        }
+    }
+
+    #[test]
+    fn payment_follows_hit_completion() {
+        // 10 tasks/HIT, 30 answers total → exactly 3 full HITs if one
+        // worker does everything.
+        let config = MarketConfig {
+            tasks_per_hit: 10,
+            ..Default::default()
+        };
+        let market = Marketplace::new(tasks(10), config);
+        let mut server = RoundRobinServer::new(10, 3);
+        let outcome = market.run_sequential(&mut server, yes_workers(3));
+        // 30 answers at 10 per HIT → 3 paid HITs (each worker answers each
+        // task once → 10 answers each → 1 full HIT each).
+        assert_eq!(outcome.answers, 30);
+        assert_eq!(outcome.ledger.num_payments(), 3);
+        assert_eq!(outcome.ledger.total_spend(), 30);
+        for w in ["W1", "W2", "W3"] {
+            assert_eq!(outcome.ledger.earnings(w), 10);
+        }
+    }
+
+    #[test]
+    fn partial_hits_are_abandoned_unpaid() {
+        // 5 tasks, k=1: a single worker answers 5 < 10 tasks and abandons.
+        let market = Marketplace::new(tasks(5), MarketConfig::default());
+        let mut server = RoundRobinServer::new(5, 1);
+        let outcome = market.run_sequential(&mut server, yes_workers(1));
+        assert_eq!(outcome.answers, 5);
+        assert_eq!(outcome.ledger.total_spend(), 0);
+        assert!(outcome
+            .events
+            .events()
+            .iter()
+            .any(|e| matches!(e, MarketEvent::HitAbandoned { .. })));
+    }
+
+    #[test]
+    fn declined_workers_retry_then_leave() {
+        struct NeverServer;
+        impl ExternalQuestionServer for NeverServer {
+            fn request_task(&mut self, _w: &str, _n: Tick) -> Option<TaskId> {
+                None
+            }
+            fn submit_answer(&mut self, _w: &str, _t: TaskId, _a: Answer, _n: Tick) {}
+            fn is_complete(&self) -> bool {
+                false
+            }
+        }
+        let market = Marketplace::new(tasks(3), MarketConfig::default());
+        let outcome = market.run_sequential(&mut NeverServer, yes_workers(1));
+        let declines = outcome
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, MarketEvent::RequestDeclined { .. }))
+            .count();
+        assert_eq!(declines, 3, "initial try + max_retries = 2 retries");
+        assert_eq!(outcome.answers, 0);
+    }
+
+    #[test]
+    fn worker_budget_limits_answers() {
+        let market = Marketplace::new(tasks(10), MarketConfig::default());
+        let mut server = RoundRobinServer::new(10, 1);
+        let workers = vec![(
+            WorkerScript {
+                max_answers: 4,
+                ..Default::default()
+            },
+            Box::new(YesBehavior) as Box<dyn WorkerBehavior>,
+        )];
+        let outcome = market.run_sequential(&mut server, workers);
+        assert_eq!(outcome.answers, 4);
+    }
+
+    #[test]
+    fn arrivals_are_honored() {
+        let market = Marketplace::new(tasks(2), MarketConfig::default());
+        let mut server = RoundRobinServer::new(2, 1);
+        let workers = vec![(
+            WorkerScript {
+                arrival: Tick(100),
+                ..Default::default()
+            },
+            Box::new(YesBehavior) as Box<dyn WorkerBehavior>,
+        )];
+        let outcome = market.run_sequential(&mut server, workers);
+        assert!(outcome.events.events()[0].at() >= Tick(100));
+        assert!(outcome.end >= Tick(100));
+    }
+
+    #[test]
+    fn deterministic_event_log() {
+        let run = || {
+            let market = Marketplace::new(tasks(6), MarketConfig::default());
+            let mut server = RoundRobinServer::new(6, 3);
+            market
+                .run_sequential(&mut server, yes_workers(4))
+                .events
+                .to_json_lines()
+        };
+        assert_eq!(run(), run());
+    }
+
+    mod properties {
+        use super::*;
+        use crate::events::MarketEvent;
+        use proptest::prelude::*;
+
+        fn arb_scripts() -> impl Strategy<Value = Vec<WorkerScript>> {
+            proptest::collection::vec(
+                (0u64..50, 1usize..40, 1u64..5).prop_map(|(arrival, max_answers, pace)| {
+                    WorkerScript {
+                        arrival: Tick(arrival),
+                        max_answers,
+                        ticks_per_answer: pace,
+                    }
+                }),
+                1..6,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Marketplace accounting invariants hold for ANY worker
+            /// script mix: answers match events, payments match submitted
+            /// HITs, no task is oversubscribed, and the clock never runs
+            /// backwards.
+            #[test]
+            fn accounting_invariants_hold_for_random_crowds(
+                scripts in arb_scripts(),
+                n_tasks in 1u32..12,
+                k in 1usize..4,
+            ) {
+                let market = Marketplace::new(tasks(n_tasks), MarketConfig::default());
+                let mut server = RoundRobinServer::new(n_tasks as usize, k);
+                let workers: Vec<(WorkerScript, Box<dyn WorkerBehavior>)> = scripts
+                    .into_iter()
+                    .map(|s| (s, Box::new(YesBehavior) as Box<dyn WorkerBehavior>))
+                    .collect();
+                let outcome = market.run_sequential(&mut server, workers);
+
+                // 1. Every answer is an AnswerSubmitted event and vice versa.
+                let answer_events = outcome
+                    .events
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e, MarketEvent::AnswerSubmitted { .. }))
+                    .count();
+                prop_assert_eq!(answer_events, outcome.answers);
+
+                // 2. Ledger spend equals the sum over HitSubmitted events.
+                let submitted: u64 = outcome
+                    .events
+                    .events()
+                    .iter()
+                    .filter_map(|e| match e {
+                        MarketEvent::HitSubmitted { reward_cents, .. } => {
+                            Some(u64::from(*reward_cents))
+                        }
+                        _ => None,
+                    })
+                    .sum();
+                prop_assert_eq!(outcome.ledger.total_spend(), submitted);
+
+                // 3. No task collected more than k answers.
+                for &c in &server.counts {
+                    prop_assert!(c <= k);
+                }
+
+                // 4. Event timestamps are monotone.
+                let mut last = Tick::ZERO;
+                for e in outcome.events.events() {
+                    prop_assert!(e.at() >= last);
+                    last = e.at();
+                }
+            }
+        }
+    }
+}

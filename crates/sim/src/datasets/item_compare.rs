@@ -1,0 +1,129 @@
+//! The ItemCompare dataset substitute — Section 6.1, dataset 2.
+//!
+//! 360 comparison microtasks, 90 per domain (Food, NBA, Auto, Country),
+//! and a 53-worker population in the Figure-6b regime: the Country and
+//! NBA anchor workers from the paper's text, and an Auto domain whose
+//! best worker caps at 0.76 (the condition behind iCrowd's limited win
+//! there, Section 6.4).
+
+use icrowd_core::task::{DomainRegistry, TaskSet};
+
+use super::{generate_domain_tasks, seeded_rng, Dataset};
+use crate::profiles::{generate_profiles, item_compare_anchors, DiversityRegime};
+
+/// Domain names in Figure 6b order.
+pub const ITEM_COMPARE_DOMAINS: [&str; 4] = ["Food", "NBA", "Auto", "Country"];
+
+const FOOD_VOCAB: &[&str] = &[
+    "chocolate", "honey", "calories", "butter", "cheese", "yogurt", "avocado", "almond", "pasta",
+    "quinoa", "salmon", "lentil", "spinach", "oatmeal", "banana", "peanut", "granola", "tofu",
+    "broccoli", "sugar",
+];
+
+const NBA_VOCAB: &[&str] = &[
+    "lakers", "bucks", "celtics", "championship", "playoffs", "rebound", "pointguard", "dunk",
+    "threepointer", "spurs", "bulls", "knicks", "warriors", "roster", "draft", "mvp", "finals",
+    "assist", "defense", "franchise",
+];
+
+const AUTO_VOCAB: &[&str] = &[
+    "toyota", "camry", "lexus", "sedan", "mpg", "horsepower", "hybrid", "torque", "chassis",
+    "hatchback", "honda", "accord", "fuel", "transmission", "suv", "mileage", "engine", "brake",
+    "warranty", "airbag",
+];
+
+const COUNTRY_VOCAB: &[&str] = &[
+    "brazil", "canada", "area", "population", "capital", "border", "continent", "gdp", "export",
+    "territory", "landmass", "coastline", "currency", "republic", "census", "hemisphere",
+    "language", "climate", "province", "region",
+];
+
+/// Builds the ItemCompare dataset.
+pub fn item_compare(seed: u64) -> Dataset {
+    let mut rng = seeded_rng(seed);
+    let mut tasks = TaskSet::new();
+    let mut domains = DomainRegistry::new();
+    let vocabs: [&[&str]; 4] = [FOOD_VOCAB, NBA_VOCAB, AUTO_VOCAB, COUNTRY_VOCAB];
+    for (name, vocab) in ITEM_COMPARE_DOMAINS.iter().zip(vocabs) {
+        generate_domain_tasks(
+            &mut tasks,
+            &mut domains,
+            name,
+            vocab,
+            "Compare the two items",
+            90,
+            &mut rng,
+        );
+    }
+
+    let mut workers = item_compare_anchors();
+    // Auto (domain index 2) is capped: its best worker stays at 0.76.
+    let regime = DiversityRegime::new(4).with_cap(2, 0.74);
+    workers.extend(generate_profiles(&regime, 53 - workers.len(), seed ^ 0xBEEF));
+
+    Dataset {
+        name: "ItemCompare".into(),
+        tasks,
+        domains,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table4() {
+        let ds = item_compare(1);
+        assert_eq!(ds.tasks.len(), 360);
+        assert_eq!(ds.domains.len(), 4);
+        assert_eq!(ds.workers.len(), 53);
+    }
+
+    #[test]
+    fn ninety_tasks_per_domain() {
+        let ds = item_compare(1);
+        for d in 0..4u16 {
+            let count = ds
+                .tasks
+                .iter()
+                .filter(|t| t.domain == Some(icrowd_core::task::Domain(d)))
+                .count();
+            assert_eq!(count, 90);
+        }
+    }
+
+    #[test]
+    fn auto_domain_has_no_great_worker_but_others_do() {
+        let ds = item_compare(1);
+        let best = |d: usize| {
+            ds.workers
+                .iter()
+                .map(|w| w.domain_accuracy[d])
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        assert!(best(2) <= 0.76, "Auto best is capped: {}", best(2));
+        assert!(best(1) > 0.9, "NBA has a strong expert: {}", best(1));
+        assert!(best(3) >= 0.95, "Country expert anchor: {}", best(3));
+    }
+
+    #[test]
+    fn country_anchor_is_top_in_country_but_low_in_nba() {
+        let ds = item_compare(1);
+        let anchor = &ds.workers[0];
+        assert_eq!(anchor.name, "A2V99E4YEP14RI");
+        let country_rank = ds
+            .workers
+            .iter()
+            .filter(|w| w.domain_accuracy[3] > anchor.domain_accuracy[3])
+            .count();
+        assert_eq!(country_rank, 0, "anchor is the best Country worker");
+        let nba_better = ds
+            .workers
+            .iter()
+            .filter(|w| w.domain_accuracy[1] > anchor.domain_accuracy[1])
+            .count();
+        assert!(nba_better > 5, "anchor is low-ranked in NBA");
+    }
+}

@@ -1,0 +1,112 @@
+//! A four-choice quiz dataset — exercising the paper's note that the
+//! techniques "can be extended to microtasks with more than two
+//! choices" (Section 2.1).
+//!
+//! Two domains (history, science), four answer choices per microtask.
+//! Majority voting needs `(k+1)/2` agreement among `k` answers, which is
+//! harder to reach with four choices — the regime where accuracy-aware
+//! assignment pays the most.
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::{DomainRegistry, Microtask, TaskSet};
+use rand::Rng;
+
+use super::{seeded_rng, Dataset};
+use crate::profiles::WorkerProfile;
+
+const HISTORY_VOCAB: &[&str] = &[
+    "empire", "treaty", "dynasty", "revolution", "monarch", "crusade", "republic", "armistice",
+    "colony", "senate", "pharaoh", "feudal", "reformation", "parliament", "siege",
+];
+
+const SCIENCE_VOCAB: &[&str] = &[
+    "electron", "genome", "isotope", "catalyst", "neuron", "quasar", "enzyme", "polymer",
+    "momentum", "photon", "mitosis", "entropy", "tectonic", "antibody", "spectrum",
+];
+
+/// Builds the quiz dataset: 80 four-choice microtasks, 2 domains,
+/// 16 workers in the usual diversity regime.
+pub fn quiz(seed: u64) -> Dataset {
+    let mut rng = seeded_rng(seed ^ 0x4012);
+    let mut tasks = TaskSet::new();
+    let mut domains = DomainRegistry::new();
+    for (name, vocab) in [("History", HISTORY_VOCAB), ("Science", SCIENCE_VOCAB)] {
+        let domain = domains.intern(name);
+        for _ in 0..40 {
+            let n = rng.gen_range(6..=9usize);
+            let words: Vec<&str> = (0..n).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect();
+            let truth = Answer(rng.gen_range(0..4u8));
+            let text = format!("Which option is correct: {}", words.join(" "));
+            tasks.push_with(|id| {
+                let mut t = Microtask::binary(id, text.clone());
+                t.num_choices = 4;
+                t.with_domain(domain).with_ground_truth(truth)
+            });
+        }
+    }
+
+    // Eight experts per domain-ish split plus generalists.
+    let mut workers = Vec::new();
+    for i in 0..6 {
+        workers.push(WorkerProfile {
+            name: format!("HIST-{i}"),
+            domain_accuracy: vec![0.78 + 0.02 * f64::from(i % 3), 0.30],
+        });
+        workers.push(WorkerProfile {
+            name: format!("SCI-{i}"),
+            domain_accuracy: vec![0.30, 0.78 + 0.02 * f64::from(i % 3)],
+        });
+    }
+    for i in 0..4 {
+        workers.push(WorkerProfile {
+            name: format!("GEN-{i}"),
+            domain_accuracy: vec![0.45, 0.45],
+        });
+    }
+
+    Dataset {
+        name: "Quiz".into(),
+        tasks,
+        domains,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_choices() {
+        let ds = quiz(1);
+        assert_eq!(ds.tasks.len(), 80);
+        assert_eq!(ds.domains.len(), 2);
+        assert_eq!(ds.workers.len(), 16);
+        for t in ds.tasks.iter() {
+            assert_eq!(t.num_choices, 4);
+            assert!(t.ground_truth.unwrap().0 < 4);
+        }
+    }
+
+    #[test]
+    fn wrong_answers_land_on_other_choices() {
+        let ds = quiz(2);
+        let mut workers = ds.spawn_workers(3);
+        let task = &ds.tasks[icrowd_core::task::TaskId(0)];
+        let truth = task.ground_truth.unwrap();
+        let mut wrong_seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let a = icrowd_platform::market::WorkerBehavior::answer(&mut workers[15], task);
+            assert!(a.0 < 4);
+            if a != truth {
+                wrong_seen.insert(a.0);
+            }
+        }
+        assert_eq!(wrong_seen.len(), 3, "errors spread over all wrong choices");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(quiz(9).tasks.as_slice(), quiz(9).tasks.as_slice());
+    }
+}

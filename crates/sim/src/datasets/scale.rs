@@ -1,0 +1,95 @@
+//! The Figure-10 scalability workload.
+//!
+//! The paper's efficiency experiment: "Initially the microtask set was
+//! empty. We inserted 0.2 million microtasks at each time and ran iCrowd
+//! to evaluate the efficiency. We also considered the maximal number of
+//! neighbors ... given a maximal neighbor number, say 40, and a
+//! microtask, we randomly selected 40 microtasks as neighbors". This
+//! module generates exactly that: a large task set and random capped
+//! neighbor lists, without ever materializing an `O(n^2)` metric.
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::{Microtask, TaskId, TaskSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` synthetic microtasks (minimal text; the graph comes
+/// from [`scalability_edges`], not from a text metric).
+pub fn scalability_tasks(n: usize) -> TaskSet {
+    let mut tasks = TaskSet::new();
+    for _ in 0..n {
+        tasks.push_with(|id| {
+            Microtask::binary(id, format!("scale-{id}")).with_ground_truth(Answer::YES)
+        });
+    }
+    tasks
+}
+
+/// Random neighbor edges: each task draws up to `max_neighbors` random
+/// neighbors with similarity in `[0.5, 1.0)`, the paper's construction.
+///
+/// Duplicate pairs are deduplicated downstream by the graph constructor
+/// (keeping the max weight); self-pairs are skipped.
+pub fn scalability_edges(
+    n: usize,
+    max_neighbors: usize,
+    seed: u64,
+) -> Vec<(TaskId, TaskId, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * max_neighbors);
+    for i in 0..n as u32 {
+        for _ in 0..max_neighbors {
+            let j = rng.gen_range(0..n as u32);
+            if j == i {
+                continue;
+            }
+            edges.push((TaskId(i), TaskId(j), rng.gen_range(0.5..1.0)));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_graph::GraphBuilder;
+
+    #[test]
+    fn tasks_have_ids_and_truth() {
+        let ts = scalability_tasks(100);
+        assert_eq!(ts.len(), 100);
+        assert!(ts.iter().all(|t| t.ground_truth.is_some()));
+    }
+
+    #[test]
+    fn edges_respect_bounds() {
+        let edges = scalability_edges(50, 8, 3);
+        assert!(edges.len() <= 50 * 8);
+        for &(a, b, s) in &edges {
+            assert_ne!(a, b);
+            assert!(a.index() < 50 && b.index() < 50);
+            assert!((0.5..1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn builds_into_a_capped_graph() {
+        let edges = scalability_edges(200, 10, 9);
+        let g = GraphBuilder::new(0.5)
+            .with_max_neighbors(10)
+            .build_from_edges(200, edges);
+        assert!(g.num_edges() > 0);
+        // The cap is per endpoint with union semantics, so degrees can
+        // exceed the cap but must stay within a small factor of it.
+        let max_deg = (0..200u32)
+            .map(|i| g.neighbor_count(TaskId(i)))
+            .max()
+            .unwrap();
+        assert!(max_deg <= 40, "degree {max_deg} explodes past the cap");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(scalability_edges(30, 4, 7), scalability_edges(30, 4, 7));
+    }
+}

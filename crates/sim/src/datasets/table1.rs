@@ -1,0 +1,148 @@
+//! The paper's Table 1: twelve entity-resolution microtasks.
+//!
+//! Each task asks whether two product records describe the same model;
+//! the token column of Table 1 is reproduced exactly, so Jaccard at
+//! threshold 0.5 regenerates the Figure 3 similarity graph (including
+//! the 4/7 edge between t2 and t7).
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::{DomainRegistry, Microtask, TaskSet};
+
+use super::Dataset;
+use crate::profiles::WorkerProfile;
+
+/// The Table-1 record pairs and their (manually judged) match labels.
+/// Domains follow the paper's narrative: iPhone, iPod, iPad topics.
+const TABLE1: &[(&str, &str, &str, bool)] = &[
+    ("iphone 4 WiFi 32GB", "iphone four 3G black", "iPhone", false),
+    ("ipod touch 32GB WiFi", "ipod touch headphone", "iPod", false),
+    ("ipad 3 WiFi 32GB black", "new ipad cover white", "iPad", false),
+    ("iphone four WiFi 16GB", "iphone four 3G 16GB", "iPhone", false),
+    ("iphone 4 case black", "iphone 4 WiFi 32GB", "iPhone", false),
+    ("iphone 4 WiFi 32GB", "iphone four WiFi 32GB", "iPhone", true),
+    ("ipod touch 32GB WiFi", "ipod touch case black", "iPod", false),
+    ("ipod touch headphone", "ipod nano headphone", "iPod", false),
+    ("ipod touch WiFi", "ipod nano headphone", "iPod", false),
+    ("ipad 3 WiFi 32GB black", "iphone 4 cover white", "iPad", false),
+    ("ipad 4 WiFi 16GB", "ipad retina display WiFi 16GB", "iPad", true),
+    ("ipad 3 cover white", "new ipad cover white", "iPad", false),
+];
+
+/// Builds the Table-1 dataset with a small three-specialist crowd
+/// (one expert per product line, echoing the paper's running example).
+pub fn table1() -> Dataset {
+    let mut domains = DomainRegistry::new();
+    let tasks: TaskSet = TABLE1
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b, dom, matched))| {
+            let d = domains.intern(dom);
+            // Task text = the deduplicated token union, exactly Table 1's
+            // third column.
+            let mut tokens: Vec<&str> = a.split_whitespace().collect();
+            for t in b.split_whitespace() {
+                if !tokens.contains(&t) {
+                    tokens.push(t);
+                }
+            }
+            Microtask::binary(
+                icrowd_core::task::TaskId(i as u32),
+                tokens.join(" "),
+            )
+            .with_domain(d)
+            .with_ground_truth(if matched { Answer::YES } else { Answer::NO })
+        })
+        .collect();
+
+    let workers = vec![
+        WorkerProfile {
+            name: "IPHONE-EXPERT".into(),
+            domain_accuracy: vec![0.92, 0.45, 0.40],
+        },
+        WorkerProfile {
+            name: "IPOD-EXPERT".into(),
+            domain_accuracy: vec![0.40, 0.90, 0.45],
+        },
+        WorkerProfile {
+            name: "IPAD-EXPERT".into(),
+            domain_accuracy: vec![0.45, 0.40, 0.93],
+        },
+        WorkerProfile {
+            name: "GENERALIST".into(),
+            domain_accuracy: vec![0.65, 0.65, 0.65],
+        },
+        WorkerProfile {
+            name: "SPAMMER".into(),
+            domain_accuracy: vec![0.35, 0.35, 0.35],
+        },
+    ];
+
+    Dataset {
+        name: "Table1".into(),
+        tasks,
+        domains,
+        workers,
+    }
+}
+
+/// The original record pairs, for presentation (bench `table1`).
+pub fn table1_pairs() -> Vec<(String, String)> {
+    TABLE1
+        .iter()
+        .map(|&(a, b, _, _)| (a.to_owned(), b.to_owned()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::TaskId;
+    use icrowd_graph::GraphBuilder;
+    use icrowd_text::{JaccardSimilarity, TaskSimilarity, Tokenizer};
+
+    #[test]
+    fn twelve_tasks_three_domains() {
+        let ds = table1();
+        assert_eq!(ds.tasks.len(), 12);
+        assert_eq!(ds.domains.len(), 3);
+        assert_eq!(ds.domain_name(TaskId(0)), "iPhone");
+        assert_eq!(ds.domain_name(TaskId(1)), "iPod");
+        assert_eq!(ds.domain_name(TaskId(10)), "iPad");
+    }
+
+    #[test]
+    fn token_sets_match_table1_column_three() {
+        let ds = table1();
+        assert_eq!(
+            ds.tasks[TaskId(0)].text,
+            "iphone 4 WiFi 32GB four 3G black"
+        );
+        assert_eq!(
+            ds.tasks[TaskId(10)].text,
+            "ipad 4 WiFi 16GB retina display"
+        );
+    }
+
+    #[test]
+    fn figure3_graph_reproduces_from_these_tasks() {
+        let ds = table1();
+        let metric = JaccardSimilarity::new(&ds.tasks, &Tokenizer::keeping_stopwords());
+        assert!(
+            (metric.similarity(TaskId(1), TaskId(6)) - 4.0 / 7.0).abs() < 1e-12,
+            "the t2–t7 edge weight from Figure 3"
+        );
+        let g = GraphBuilder::new(0.5).build(&ds.tasks, &metric);
+        assert!(g.num_edges() >= 6, "the example graph is well connected");
+    }
+
+    #[test]
+    fn ground_truth_matches_paper_intuition() {
+        let ds = table1();
+        // t6: "iphone 4 WiFi 32GB" vs "iphone four WiFi 32GB" — same model.
+        assert_eq!(ds.tasks[TaskId(5)].ground_truth, Some(Answer::YES));
+        // t11: "ipad 4" is colloquially the "ipad retina display" model.
+        assert_eq!(ds.tasks[TaskId(10)].ground_truth, Some(Answer::YES));
+        // t1: different models.
+        assert_eq!(ds.tasks[TaskId(0)].ground_truth, Some(Answer::NO));
+    }
+}

@@ -1,0 +1,136 @@
+//! Experiment metrics: per-domain accuracy and distributions.
+
+use std::collections::{HashMap, HashSet};
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::TaskId;
+
+use crate::datasets::Dataset;
+
+/// Accuracy within one domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainAccuracy {
+    /// Domain name.
+    pub domain: String,
+    /// Correctly answered measured tasks.
+    pub correct: usize,
+    /// Measured tasks in the domain.
+    pub total: usize,
+}
+
+impl DomainAccuracy {
+    /// `correct / total` (zero for an empty domain).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Scores predicted `results` against the dataset's ground truth,
+/// skipping `excluded` tasks (the shared qualification/gold set, whose
+/// answers the requester knew up front). Tasks without a prediction
+/// count as wrong.
+///
+/// Returns `(overall accuracy, per-domain breakdown in domain-id order)`.
+pub fn evaluate(
+    dataset: &Dataset,
+    results: &HashMap<TaskId, Answer>,
+    excluded: &HashSet<TaskId>,
+) -> (f64, Vec<DomainAccuracy>) {
+    let mut per: Vec<DomainAccuracy> = dataset
+        .domains
+        .iter()
+        .map(|(_, name)| DomainAccuracy {
+            domain: name.to_owned(),
+            correct: 0,
+            total: 0,
+        })
+        .collect();
+    let (mut correct, mut total) = (0usize, 0usize);
+    for task in dataset.tasks.iter() {
+        if excluded.contains(&task.id) {
+            continue;
+        }
+        let truth = task.ground_truth.expect("dataset tasks carry ground truth");
+        let d = task.domain.expect("dataset tasks carry domains").index();
+        per[d].total += 1;
+        total += 1;
+        if results.get(&task.id) == Some(&truth) {
+            per[d].correct += 1;
+            correct += 1;
+        }
+    }
+    let overall = if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    };
+    (overall, per)
+}
+
+/// Sorts `(name, count)` assignment pairs descending by count — the
+/// Figure 15 presentation order.
+pub fn top_workers_by_assignments(mut pairs: Vec<(String, u32)>) -> Vec<(String, u32)> {
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::table1;
+
+    #[test]
+    fn evaluate_counts_per_domain() {
+        let ds = table1();
+        // Answer everything correctly except task 0; exclude task 1.
+        let mut results = HashMap::new();
+        for t in ds.tasks.iter() {
+            let truth = t.ground_truth.unwrap();
+            let ans = if t.id == TaskId(0) { truth.negated() } else { truth };
+            results.insert(t.id, ans);
+        }
+        let excluded: HashSet<TaskId> = [TaskId(1)].into_iter().collect();
+        let (overall, per) = evaluate(&ds, &results, &excluded);
+        // 12 tasks - 1 excluded = 11 measured, 10 correct.
+        assert!((overall - 10.0 / 11.0).abs() < 1e-12);
+        let total: usize = per.iter().map(|d| d.total).sum();
+        assert_eq!(total, 11);
+        // Task 0 is iPhone: that domain lost one.
+        let iphone = per.iter().find(|d| d.domain == "iPhone").unwrap();
+        assert_eq!(iphone.correct, iphone.total - 1);
+    }
+
+    #[test]
+    fn missing_predictions_count_as_wrong() {
+        let ds = table1();
+        let (overall, _) = evaluate(&ds, &HashMap::new(), &HashSet::new());
+        assert_eq!(overall, 0.0);
+    }
+
+    #[test]
+    fn top_workers_sorted_desc_then_name() {
+        let sorted = top_workers_by_assignments(vec![
+            ("b".into(), 5),
+            ("a".into(), 9),
+            ("c".into(), 5),
+        ]);
+        assert_eq!(
+            sorted,
+            vec![("a".into(), 9), ("b".into(), 5), ("c".into(), 5)]
+        );
+    }
+
+    #[test]
+    fn empty_domain_accuracy_is_zero() {
+        let d = DomainAccuracy {
+            domain: "x".into(),
+            correct: 0,
+            total: 0,
+        };
+        assert_eq!(d.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Stochastic crowd workers.
+//!
+//! A [`SimWorker`] answers a microtask correctly with probability equal
+//! to her accuracy in the task's domain — the simplest model consistent
+//! with the paper's Definition 1 and the diversity measurements of
+//! Figure 6. Wrong binary answers flip the truth; wrong multi-choice
+//! answers pick a uniformly random incorrect choice.
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::Microtask;
+use icrowd_platform::market::WorkerBehavior;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profiles::WorkerProfile;
+
+/// A simulated worker with per-domain accuracy.
+#[derive(Debug, Clone)]
+pub struct SimWorker {
+    profile: WorkerProfile,
+    rng: StdRng,
+}
+
+impl SimWorker {
+    /// Creates a worker from a profile, seeding her private RNG.
+    pub fn new(profile: WorkerProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The worker's profile.
+    pub fn profile(&self) -> &WorkerProfile {
+        &self.profile
+    }
+
+    /// Her true accuracy on `task` (the simulation-side ground truth the
+    /// estimator tries to recover).
+    pub fn true_accuracy(&self, task: &Microtask) -> f64 {
+        match task.domain {
+            Some(d) => self.profile.domain_accuracy[d.index()],
+            None => 0.5,
+        }
+    }
+}
+
+impl WorkerBehavior for SimWorker {
+    fn answer(&mut self, task: &Microtask) -> Answer {
+        let truth = task
+            .ground_truth
+            .expect("simulated tasks carry ground truth");
+        let p = self.true_accuracy(task);
+        if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+            truth
+        } else if task.num_choices == 2 {
+            truth.negated()
+        } else {
+            // Uniform over the wrong choices.
+            let offset = self.rng.gen_range(1..task.num_choices);
+            Answer((truth.0 + offset) % task.num_choices)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::{Domain, TaskId};
+
+    fn worker(accs: Vec<f64>, seed: u64) -> SimWorker {
+        SimWorker::new(
+            WorkerProfile {
+                name: "T".into(),
+                domain_accuracy: accs,
+            },
+            seed,
+        )
+    }
+
+    fn task(domain: u16, truth: Answer) -> Microtask {
+        Microtask::binary(TaskId(0), "t")
+            .with_domain(Domain(domain))
+            .with_ground_truth(truth)
+    }
+
+    #[test]
+    fn empirical_accuracy_tracks_profile() {
+        let mut w = worker(vec![0.9, 0.2], 42);
+        let t_good = task(0, Answer::YES);
+        let t_bad = task(1, Answer::YES);
+        let n = 5000;
+        let correct_good = (0..n)
+            .filter(|_| w.answer(&t_good) == Answer::YES)
+            .count() as f64
+            / n as f64;
+        let correct_bad = (0..n).filter(|_| w.answer(&t_bad) == Answer::YES).count() as f64
+            / n as f64;
+        assert!((correct_good - 0.9).abs() < 0.03, "good domain: {correct_good}");
+        assert!((correct_bad - 0.2).abs() < 0.03, "bad domain: {correct_bad}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = task(0, Answer::NO);
+        let seq = |seed| {
+            let mut w = worker(vec![0.7], seed);
+            (0..50).map(|_| w.answer(&t)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn multi_choice_errors_avoid_the_truth() {
+        let mut w = worker(vec![0.0], 3); // always wrong
+        let mut t = Microtask::binary(TaskId(0), "t")
+            .with_domain(Domain(0))
+            .with_ground_truth(Answer(1));
+        t.num_choices = 4;
+        for _ in 0..200 {
+            let a = w.answer(&t);
+            assert_ne!(a, Answer(1));
+            assert!(a.0 < 4);
+        }
+    }
+
+    #[test]
+    fn domainless_tasks_are_coin_flips() {
+        let mut w = worker(vec![1.0], 11);
+        let t = Microtask::binary(TaskId(0), "t").with_ground_truth(Answer::YES);
+        let n = 4000;
+        let correct = (0..n).filter(|_| w.answer(&t) == Answer::YES).count() as f64 / n as f64;
+        assert!((correct - 0.5).abs() < 0.05);
+    }
+}

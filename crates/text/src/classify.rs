@@ -1,0 +1,214 @@
+//! Classification-based similarity (Section 3.3 case 3).
+//!
+//! For complicated microtasks the paper suggests training a classifier on
+//! labelled (similar / not similar) pairs and using its binary prediction
+//! as a 0/1 similarity. We implement an averaged perceptron over simple
+//! pair features (Jaccard overlap, tf-idf cosine, relative length
+//! difference) — a linear classifier in the spirit of the paper's SVM
+//! suggestion, with no external dependencies.
+
+use icrowd_core::task::{TaskId, TaskSet};
+
+use crate::jaccard::JaccardSimilarity;
+use crate::metric::TaskSimilarity;
+use crate::tfidf::TfIdfModel;
+use crate::tokenize::Tokenizer;
+
+/// Number of features (plus a bias term) used per task pair.
+const NUM_FEATURES: usize = 4;
+
+/// A labelled training pair: `(a, b, similar?)`.
+pub type LabelledPair = (TaskId, TaskId, bool);
+
+/// An averaged-perceptron pair classifier exposed as a 0/1 similarity.
+#[derive(Debug, Clone)]
+pub struct ClassifierSimilarity {
+    jaccard: JaccardSimilarity,
+    tfidf: TfIdfModel,
+    lengths: Vec<usize>,
+    /// Learned weights: `[bias, w_jaccard, w_cosine, w_lendiff]`.
+    weights: [f64; NUM_FEATURES],
+}
+
+impl ClassifierSimilarity {
+    /// Trains the classifier on `pairs` for `epochs` passes of the
+    /// averaged perceptron.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is empty or `epochs == 0`.
+    pub fn train(
+        tasks: &TaskSet,
+        tokenizer: &Tokenizer,
+        pairs: &[LabelledPair],
+        epochs: usize,
+    ) -> Self {
+        assert!(!pairs.is_empty(), "need at least one training pair");
+        assert!(epochs > 0, "need at least one epoch");
+        let jaccard = JaccardSimilarity::new(tasks, tokenizer);
+        let tfidf = TfIdfModel::fit(tokenizer, tasks.iter().map(|t| t.text.as_str()));
+        let lengths: Vec<usize> = tasks
+            .iter()
+            .map(|t| tokenizer.tokenize(&t.text).len())
+            .collect();
+        let mut this = Self {
+            jaccard,
+            tfidf,
+            lengths,
+            weights: [0.0; NUM_FEATURES],
+        };
+
+        // Averaged perceptron: accumulate weight snapshots for stability.
+        let mut w = [0.0f64; NUM_FEATURES];
+        let mut acc = [0.0f64; NUM_FEATURES];
+        let mut steps = 0usize;
+        for _ in 0..epochs {
+            for &(a, b, label) in pairs {
+                let x = this.features(a, b);
+                let score: f64 = w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum();
+                let y = if label { 1.0 } else { -1.0 };
+                if y * score <= 0.0 {
+                    for i in 0..NUM_FEATURES {
+                        w[i] += y * x[i];
+                    }
+                }
+                for i in 0..NUM_FEATURES {
+                    acc[i] += w[i];
+                }
+                steps += 1;
+            }
+        }
+        for (w, &a) in this.weights.iter_mut().zip(&acc) {
+            *w = a / steps as f64;
+        }
+        this
+    }
+
+    /// The pair feature vector `[1, jaccard, cosine, 1 - lendiff]`.
+    fn features(&self, a: TaskId, b: TaskId) -> [f64; NUM_FEATURES] {
+        let j = self.jaccard.similarity(a, b);
+        let c = self.tfidf.cosine(a.index(), b.index());
+        let (la, lb) = (self.lengths[a.index()] as f64, self.lengths[b.index()] as f64);
+        let len_sim = if la.max(lb) == 0.0 {
+            1.0
+        } else {
+            1.0 - (la - lb).abs() / la.max(lb)
+        };
+        [1.0, j, c, len_sim]
+    }
+
+    /// The learned decision score (positive ⇒ similar).
+    pub fn score(&self, a: TaskId, b: TaskId) -> f64 {
+        self.weights
+            .iter()
+            .zip(self.features(a, b))
+            .map(|(w, x)| w * x)
+            .sum()
+    }
+
+    /// Whether the classifier deems the pair similar.
+    pub fn classify(&self, a: TaskId, b: TaskId) -> bool {
+        self.score(a, b) > 0.0
+    }
+}
+
+impl TaskSimilarity for ClassifierSimilarity {
+    /// The paper's convention: similarity is 1 for predicted-similar
+    /// pairs, 0 otherwise (with the diagonal always 1).
+    fn similarity(&self, a: TaskId, b: TaskId) -> f64 {
+        if a == b || self.classify(a, b) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Classifier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::Microtask;
+
+    fn product_tasks() -> TaskSet {
+        [
+            "iphone 4 wifi 32gb",      // 0 phone
+            "iphone four wifi 16gb",   // 1 phone
+            "iphone 4 case black",     // 2 phone
+            "nba lakers championship", // 3 sports
+            "nba bucks season record", // 4 sports
+            "nba finals winner team",  // 5 sports
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Microtask::binary(TaskId(i as u32), *t))
+        .collect()
+    }
+
+    fn training_pairs() -> Vec<LabelledPair> {
+        vec![
+            (TaskId(0), TaskId(1), true),
+            (TaskId(1), TaskId(2), true),
+            (TaskId(3), TaskId(4), true),
+            (TaskId(4), TaskId(5), true),
+            (TaskId(0), TaskId(3), false),
+            (TaskId(1), TaskId(4), false),
+            (TaskId(2), TaskId(5), false),
+        ]
+    }
+
+    #[test]
+    fn learns_to_separate_domains() {
+        let ts = product_tasks();
+        let clf = ClassifierSimilarity::train(
+            &ts,
+            &Tokenizer::keeping_stopwords(),
+            &training_pairs(),
+            50,
+        );
+        // Held-out same-domain pair.
+        assert!(clf.classify(TaskId(0), TaskId(2)));
+        assert!(clf.classify(TaskId(3), TaskId(5)));
+        // Held-out cross-domain pair.
+        assert!(!clf.classify(TaskId(0), TaskId(5)));
+        assert_eq!(clf.similarity(TaskId(0), TaskId(2)), 1.0);
+        assert_eq!(clf.similarity(TaskId(0), TaskId(5)), 0.0);
+    }
+
+    #[test]
+    fn diagonal_is_always_similar() {
+        let ts = product_tasks();
+        let clf =
+            ClassifierSimilarity::train(&ts, &Tokenizer::keeping_stopwords(), &training_pairs(), 5);
+        for i in 0..6u32 {
+            assert_eq!(clf.similarity(TaskId(i), TaskId(i)), 1.0);
+        }
+    }
+
+    #[test]
+    fn scores_are_symmetric() {
+        let ts = product_tasks();
+        let clf = ClassifierSimilarity::train(
+            &ts,
+            &Tokenizer::keeping_stopwords(),
+            &training_pairs(),
+            20,
+        );
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let s1 = clf.score(TaskId(a), TaskId(b));
+                let s2 = clf.score(TaskId(b), TaskId(a));
+                assert!((s1 - s2).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training pair")]
+    fn rejects_empty_training_set() {
+        let ts = product_tasks();
+        ClassifierSimilarity::train(&ts, &Tokenizer::new(), &[], 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Normalized edit-distance similarity (Section 3.3 mentions edit distance
+//! as an alternative textual metric).
+//!
+//! Similarity is `1 - lev(a, b) / max(|a|, |b|)` over the raw task texts
+//! (character level), which maps to `[0, 1]` with `1` for identical texts.
+
+use icrowd_core::task::{TaskId, TaskSet};
+
+use crate::metric::TaskSimilarity;
+
+/// Levenshtein distance between two strings, `O(|a| * |b|)` time and
+/// `O(min(|a|, |b|))` space (two-row dynamic program over chars).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string as the row for minimal memory.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Character-level normalized edit-distance similarity over task texts.
+#[derive(Debug, Clone)]
+pub struct EditDistanceSimilarity {
+    texts: Vec<String>,
+}
+
+impl EditDistanceSimilarity {
+    /// Lowercases and stores the task texts.
+    pub fn new(tasks: &TaskSet) -> Self {
+        Self {
+            texts: tasks.iter().map(|t| t.text.to_lowercase()).collect(),
+        }
+    }
+}
+
+impl TaskSimilarity for EditDistanceSimilarity {
+    fn similarity(&self, a: TaskId, b: TaskId) -> f64 {
+        let (ta, tb) = (&self.texts[a.index()], &self.texts[b.index()]);
+        let max_len = ta.chars().count().max(tb.chars().count());
+        if max_len == 0 {
+            return 1.0;
+        }
+        1.0 - levenshtein(ta, tb) as f64 / max_len as f64
+    }
+
+    fn name(&self) -> &str {
+        "EditDistance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::Microtask;
+
+    fn tasks(texts: &[&str]) -> TaskSet {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Microtask::binary(TaskId(i as u32), *t))
+            .collect()
+    }
+
+    #[test]
+    fn classic_levenshtein_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn similarity_normalizes_and_is_case_insensitive() {
+        let ts = tasks(&["iPhone 4", "iphone 4", "xxxxxxxx"]);
+        let m = EditDistanceSimilarity::new(&ts);
+        assert_eq!(m.similarity(TaskId(0), TaskId(1)), 1.0);
+        assert_eq!(m.similarity(TaskId(0), TaskId(2)), 0.0);
+        assert_eq!(m.name(), "EditDistance");
+    }
+
+    #[test]
+    fn empty_texts_are_identical() {
+        let ts = tasks(&["", ""]);
+        let m = EditDistanceSimilarity::new(&ts);
+        assert_eq!(m.similarity(TaskId(0), TaskId(1)), 1.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+                let ab = levenshtein(&a, &b);
+                let bc = levenshtein(&b, &c);
+                let ac = levenshtein(&a, &c);
+                prop_assert!(ac <= ab + bc);
+            }
+
+            #[test]
+            fn symmetric(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+                prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            }
+
+            #[test]
+            fn bounded_by_longer_length(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+                let d = levenshtein(&a, &b);
+                prop_assert!(d <= a.chars().count().max(b.chars().count()));
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Euclidean feature similarity (Section 3.3 case 2).
+//!
+//! For microtasks with numeric feature vectors (the paper's example:
+//! verifying POI place names, where the feature is the POI coordinate),
+//! similarity is `1 - dist(t_i, t_j) / tau_d`, where `tau_d` is the
+//! maximum pairwise distance across the task set — exactly the paper's
+//! normalization.
+
+use icrowd_core::task::{TaskId, TaskSet};
+
+use crate::metric::TaskSimilarity;
+
+/// Euclidean-distance similarity over task feature vectors.
+#[derive(Debug, Clone)]
+pub struct EuclideanSimilarity {
+    features: Vec<Vec<f64>>,
+    /// `tau_d`: the maximum pairwise distance (normalization constant).
+    tau: f64,
+}
+
+impl EuclideanSimilarity {
+    /// Builds the metric, computing `tau_d` over all task pairs.
+    ///
+    /// # Panics
+    /// Panics if any task lacks features or if feature dimensions differ.
+    pub fn new(tasks: &TaskSet) -> Self {
+        let features: Vec<Vec<f64>> = tasks
+            .iter()
+            .map(|t| {
+                t.features
+                    .clone()
+                    .unwrap_or_else(|| panic!("task {} has no feature vector", t.id))
+            })
+            .collect();
+        if let Some(first) = features.first() {
+            let d = first.len();
+            assert!(
+                features.iter().all(|f| f.len() == d),
+                "all feature vectors must share one dimension"
+            );
+        }
+        let mut tau = 0.0f64;
+        for i in 0..features.len() {
+            for j in (i + 1)..features.len() {
+                tau = tau.max(Self::distance(&features[i], &features[j]));
+            }
+        }
+        Self { features, tau }
+    }
+
+    /// The normalization constant `tau_d` (max pairwise distance).
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    fn distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl TaskSimilarity for EuclideanSimilarity {
+    fn similarity(&self, a: TaskId, b: TaskId) -> f64 {
+        if self.tau == 0.0 {
+            // All tasks coincide: everything is maximally similar.
+            return 1.0;
+        }
+        let d = Self::distance(&self.features[a.index()], &self.features[b.index()]);
+        (1.0 - d / self.tau).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &str {
+        "Euclidean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::Microtask;
+
+    fn poi_tasks(points: &[(f64, f64)]) -> TaskSet {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                Microtask::binary(TaskId(i as u32), format!("poi {i}"))
+                    .with_features(vec![x, y])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn farthest_pair_has_zero_similarity() {
+        let ts = poi_tasks(&[(0.0, 0.0), (3.0, 4.0), (1.0, 1.0)]);
+        let m = EuclideanSimilarity::new(&ts);
+        assert_eq!(m.tau(), 5.0);
+        assert_eq!(m.similarity(TaskId(0), TaskId(1)), 0.0);
+        assert_eq!(m.similarity(TaskId(0), TaskId(0)), 1.0);
+    }
+
+    #[test]
+    fn closer_points_are_more_similar() {
+        let ts = poi_tasks(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0)]);
+        let m = EuclideanSimilarity::new(&ts);
+        assert!(m.similarity(TaskId(0), TaskId(1)) > m.similarity(TaskId(0), TaskId(2)));
+    }
+
+    #[test]
+    fn coincident_tasks_are_fully_similar() {
+        let ts = poi_tasks(&[(2.0, 2.0), (2.0, 2.0)]);
+        let m = EuclideanSimilarity::new(&ts);
+        assert_eq!(m.similarity(TaskId(0), TaskId(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no feature vector")]
+    fn missing_features_rejected() {
+        let ts: TaskSet = [Microtask::binary(TaskId(0), "no features")]
+            .into_iter()
+            .collect();
+        EuclideanSimilarity::new(&ts);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimension")]
+    fn mixed_dimensions_rejected() {
+        let ts: TaskSet = [
+            Microtask::binary(TaskId(0), "a").with_features(vec![1.0]),
+            Microtask::binary(TaskId(1), "b").with_features(vec![1.0, 2.0]),
+        ]
+        .into_iter()
+        .collect();
+        EuclideanSimilarity::new(&ts);
+    }
+}

@@ -1,0 +1,326 @@
+//! Latent Dirichlet Allocation via collapsed Gibbs sampling.
+//!
+//! Appendix D.1's best-performing similarity, `Cos(topic)`, needs a topic
+//! distribution per microtask. This module implements the standard LDA
+//! generative model (Blei, Ng & Jordan) with the collapsed Gibbs sampler of
+//! Griffiths & Steyvers: topic assignments `z` are resampled word by word
+//! from
+//!
+//! ```text
+//! P(z = k | rest) ∝ (n_dk + alpha) * (n_kw + beta) / (n_k + V * beta)
+//! ```
+//!
+//! After burn-in, document–topic distributions `theta` and topic–word
+//! distributions `phi` are read off the smoothed counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LDA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdaConfig {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Symmetric Dirichlet prior on document–topic distributions.
+    pub alpha: f64,
+    /// Symmetric Dirichlet prior on topic–word distributions.
+    pub beta: f64,
+    /// Total Gibbs sweeps (burn-in included).
+    pub iterations: usize,
+    /// RNG seed (sampling is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        Self {
+            num_topics: 10,
+            alpha: 0.5,
+            beta: 0.01,
+            iterations: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted LDA model.
+#[derive(Debug, Clone)]
+pub struct LdaModel {
+    num_topics: usize,
+    vocab_size: usize,
+    /// `theta[d][k]`: probability of topic `k` in document `d`.
+    theta: Vec<Vec<f64>>,
+    /// `phi[k][w]`: probability of word `w` under topic `k`.
+    phi: Vec<Vec<f64>>,
+}
+
+impl LdaModel {
+    /// Fits LDA on `docs` (token-id documents over a vocabulary of
+    /// `vocab_size` words) by collapsed Gibbs sampling.
+    ///
+    /// Empty documents are legal; their `theta` is the uniform
+    /// distribution.
+    ///
+    /// # Panics
+    /// Panics if `config.num_topics == 0`, `iterations == 0`, or any token
+    /// id is `>= vocab_size`.
+    pub fn fit(docs: &[Vec<u32>], vocab_size: usize, config: &LdaConfig) -> Self {
+        assert!(config.num_topics > 0, "need at least one topic");
+        assert!(config.iterations > 0, "need at least one Gibbs sweep");
+        let k = config.num_topics;
+        let v = vocab_size;
+        for doc in docs {
+            for &w in doc {
+                assert!((w as usize) < v, "token id {w} out of vocabulary");
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Counts: n_dk (doc-topic), n_kw (topic-word), n_k (topic totals).
+        let mut n_dk = vec![vec![0u32; k]; docs.len()];
+        let mut n_kw = vec![vec![0u32; v]; k];
+        let mut n_k = vec![0u32; k];
+        // Current topic assignment of every token position.
+        let mut z: Vec<Vec<usize>> = docs
+            .iter()
+            .map(|doc| doc.iter().map(|_| rng.gen_range(0..k)).collect())
+            .collect();
+        for (d, doc) in docs.iter().enumerate() {
+            for (i, &w) in doc.iter().enumerate() {
+                let t = z[d][i];
+                n_dk[d][t] += 1;
+                n_kw[t][w as usize] += 1;
+                n_k[t] += 1;
+            }
+        }
+
+        let mut weights = vec![0.0f64; k];
+        for _sweep in 0..config.iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (i, &w) in doc.iter().enumerate() {
+                    let w = w as usize;
+                    let old = z[d][i];
+                    // Remove the token from the counts.
+                    n_dk[d][old] -= 1;
+                    n_kw[old][w] -= 1;
+                    n_k[old] -= 1;
+                    // Full conditional for each topic.
+                    let mut total = 0.0;
+                    for (t, wt) in weights.iter_mut().enumerate() {
+                        let a = n_dk[d][t] as f64 + config.alpha;
+                        let b = (n_kw[t][w] as f64 + config.beta)
+                            / (n_k[t] as f64 + v as f64 * config.beta);
+                        *wt = a * b;
+                        total += *wt;
+                    }
+                    // Inverse-CDF sample.
+                    let mut u = rng.gen::<f64>() * total;
+                    let mut new = k - 1;
+                    for (t, &wt) in weights.iter().enumerate() {
+                        if u < wt {
+                            new = t;
+                            break;
+                        }
+                        u -= wt;
+                    }
+                    z[d][i] = new;
+                    n_dk[d][new] += 1;
+                    n_kw[new][w] += 1;
+                    n_k[new] += 1;
+                }
+            }
+        }
+
+        // Read distributions off the final counts (single-sample estimate).
+        let theta = docs
+            .iter()
+            .enumerate()
+            .map(|(d, doc)| {
+                let denom = doc.len() as f64 + k as f64 * config.alpha;
+                (0..k)
+                    .map(|t| (n_dk[d][t] as f64 + config.alpha) / denom)
+                    .collect()
+            })
+            .collect();
+        let phi = (0..k)
+            .map(|t| {
+                let denom = n_k[t] as f64 + v as f64 * config.beta;
+                (0..v)
+                    .map(|w| (n_kw[t][w] as f64 + config.beta) / denom)
+                    .collect()
+            })
+            .collect();
+
+        Self {
+            num_topics: k,
+            vocab_size: v,
+            theta,
+            phi,
+        }
+    }
+
+    /// Number of topics `K`.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Topic distribution of document `d`.
+    pub fn theta(&self, d: usize) -> &[f64] {
+        &self.theta[d]
+    }
+
+    /// Word distribution of topic `t`.
+    pub fn phi(&self, t: usize) -> &[f64] {
+        &self.phi[t]
+    }
+
+    /// Number of fitted documents.
+    pub fn num_docs(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Cosine similarity between the topic distributions of documents
+    /// `i` and `j`, clamped to `[0, 1]`.
+    pub fn topic_cosine(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (&self.theta[i], &self.theta[j]);
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The `n` most probable words of topic `t` (ids, most probable first).
+    pub fn top_words(&self, t: usize, n: usize) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.vocab_size as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.phi[t][b as usize]
+                .partial_cmp(&self.phi[t][a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        idx.truncate(n);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::{encode_corpus, Tokenizer};
+
+    /// Two clearly separated topics: phones and basketball.
+    fn two_topic_corpus() -> (Vec<Vec<u32>>, usize) {
+        let texts: Vec<String> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "iphone ipad wifi screen battery apple phone tablet".to_string()
+                } else {
+                    "nba lakers basketball court player coach season game".to_string()
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (docs, vocab) = encode_corpus(&Tokenizer::keeping_stopwords(), refs);
+        let v = vocab.len();
+        (docs, v)
+    }
+
+    fn fit_two_topics() -> LdaModel {
+        let (docs, v) = two_topic_corpus();
+        LdaModel::fit(
+            &docs,
+            v,
+            &LdaConfig {
+                num_topics: 2,
+                iterations: 150,
+                seed: 7,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn theta_and_phi_are_distributions() {
+        let m = fit_two_topics();
+        for d in 0..m.num_docs() {
+            let s: f64 = m.theta(d).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "theta[{d}] sums to {s}");
+            assert!(m.theta(d).iter().all(|&p| p > 0.0));
+        }
+        for t in 0..m.num_topics() {
+            let s: f64 = m.phi(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "phi[{t}] sums to {s}");
+        }
+    }
+
+    #[test]
+    fn separates_two_obvious_topics() {
+        let m = fit_two_topics();
+        // Same-domain documents should be much closer than cross-domain.
+        let same = m.topic_cosine(0, 2);
+        let cross = m.topic_cosine(0, 1);
+        assert!(
+            same > cross + 0.3,
+            "same-domain cosine {same} should dominate cross-domain {cross}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (docs, v) = two_topic_corpus();
+        let cfg = LdaConfig {
+            num_topics: 2,
+            iterations: 50,
+            seed: 99,
+            ..Default::default()
+        };
+        let m1 = LdaModel::fit(&docs, v, &cfg);
+        let m2 = LdaModel::fit(&docs, v, &cfg);
+        for d in 0..m1.num_docs() {
+            assert_eq!(m1.theta(d), m2.theta(d));
+        }
+    }
+
+    #[test]
+    fn empty_documents_get_uniform_theta() {
+        let docs = vec![vec![0, 1, 2], vec![]];
+        let m = LdaModel::fit(
+            &docs,
+            3,
+            &LdaConfig {
+                num_topics: 4,
+                iterations: 10,
+                ..Default::default()
+            },
+        );
+        let th = m.theta(1);
+        for &p in th {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_words_reflect_topic_mass() {
+        let m = fit_two_topics();
+        // The top words of the two topics should be (mostly) disjoint.
+        let a = m.top_words(0, 5);
+        let b = m.top_words(1, 5);
+        let overlap = a.iter().filter(|w| b.contains(w)).count();
+        assert!(overlap <= 1, "topics share {overlap} of top-5 words");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_out_of_vocab_tokens() {
+        LdaModel::fit(&[vec![5]], 3, &LdaConfig::default());
+    }
+}

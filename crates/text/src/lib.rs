@@ -1,0 +1,42 @@
+//! # icrowd-text
+//!
+//! Microtask similarity substrate for iCrowd (Section 3.3 and Appendix
+//! D.1 of the paper). iCrowd never interprets task content directly — all
+//! topical structure enters through a *similarity metric* over microtasks,
+//! which the graph layer turns into the similarity graph.
+//!
+//! The paper lists three families of metrics, all implemented here:
+//!
+//! 1. **Textual** — [`JaccardSimilarity`], [`CosineTfIdf`] and the
+//!    topic-based [`TopicCosine`] (backed by a from-scratch collapsed-Gibbs
+//!    [`lda`] implementation), plus normalized [`EditDistanceSimilarity`].
+//! 2. **Feature-vector** — [`EuclideanSimilarity`] over numeric task
+//!    features (e.g. POI coordinates).
+//! 3. **Classification-based** — [`ClassifierSimilarity`], a perceptron
+//!    over pair features trained on labelled similar/dissimilar pairs.
+//!
+//! All metrics implement the [`TaskSimilarity`] trait and return scores in
+//! `[0, 1]`.
+
+#![warn(missing_docs)]
+#![warn(clippy::dbg_macro)]
+
+pub mod classify;
+pub mod cosine;
+pub mod editdist;
+pub mod euclid;
+pub mod jaccard;
+pub mod lda;
+pub mod metric;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use classify::ClassifierSimilarity;
+pub use cosine::{CosineTfIdf, TopicCosine};
+pub use editdist::EditDistanceSimilarity;
+pub use euclid::EuclideanSimilarity;
+pub use jaccard::JaccardSimilarity;
+pub use lda::{LdaConfig, LdaModel};
+pub use metric::TaskSimilarity;
+pub use tfidf::TfIdfModel;
+pub use tokenize::{Tokenizer, Vocabulary};

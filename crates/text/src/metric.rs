@@ -1,0 +1,149 @@
+//! The [`TaskSimilarity`] trait — the contract between task content and
+//! the similarity graph.
+
+use icrowd_core::task::{TaskId, TaskSet};
+
+/// A similarity metric over microtasks.
+///
+/// Implementations precompute any corpus-level state (idf weights, topic
+/// distributions, feature scales) at construction from the full
+/// [`TaskSet`]; `similarity` is then a cheap pairwise lookup so the graph
+/// builder can evaluate `O(|T|^2)` (or neighbor-capped) pairs.
+///
+/// Scores must lie in `[0, 1]`, with `1` meaning identical and `0`
+/// unrelated. Symmetry (`sim(a, b) == sim(b, a)`) is required; the graph
+/// layer debug-asserts it.
+pub trait TaskSimilarity {
+    /// Similarity between tasks `a` and `b`, in `[0, 1]`.
+    fn similarity(&self, a: TaskId, b: TaskId) -> f64;
+
+    /// Short human-readable name used in experiment output
+    /// (e.g. `"Jaccard"`, `"Cos(tf-idf)"`, `"Cos(topic)"`).
+    fn name(&self) -> &str;
+}
+
+/// Blanket impl so `Box<dyn TaskSimilarity>` is itself a metric.
+impl TaskSimilarity for Box<dyn TaskSimilarity + Send + Sync> {
+    fn similarity(&self, a: TaskId, b: TaskId) -> f64 {
+        (**self).similarity(a, b)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A metric defined by an explicit dense matrix — handy in tests and for
+/// wiring the paper's worked example (Figure 3) exactly.
+#[derive(Debug, Clone)]
+pub struct MatrixSimilarity {
+    n: usize,
+    /// Row-major `n x n` similarity values.
+    values: Vec<f64>,
+    name: String,
+}
+
+impl MatrixSimilarity {
+    /// Builds from a row-major `n x n` matrix.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != n * n`, if any value is outside `[0, 1]`,
+    /// or if the matrix is not symmetric.
+    pub fn new(n: usize, values: Vec<f64>, name: impl Into<String>) -> Self {
+        assert_eq!(values.len(), n * n, "matrix must be n x n");
+        for i in 0..n {
+            for j in 0..n {
+                let v = values[i * n + j];
+                assert!((0.0..=1.0).contains(&v), "similarity out of range");
+                assert!(
+                    (v - values[j * n + i]).abs() < 1e-12,
+                    "similarity matrix must be symmetric"
+                );
+            }
+        }
+        Self {
+            n,
+            values,
+            name: name.into(),
+        }
+    }
+
+    /// Builds a matrix metric from a sparse edge list over `tasks`,
+    /// defaulting missing pairs to `0` and the diagonal to `1`.
+    pub fn from_edges(
+        tasks: &TaskSet,
+        edges: &[(TaskId, TaskId, f64)],
+        name: impl Into<String>,
+    ) -> Self {
+        let n = tasks.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+        }
+        for &(a, b, s) in edges {
+            assert!((0.0..=1.0).contains(&s), "similarity out of range");
+            values[a.index() * n + b.index()] = s;
+            values[b.index() * n + a.index()] = s;
+        }
+        Self {
+            n,
+            values,
+            name: name.into(),
+        }
+    }
+}
+
+impl TaskSimilarity for MatrixSimilarity {
+    fn similarity(&self, a: TaskId, b: TaskId) -> f64 {
+        assert!(a.index() < self.n && b.index() < self.n, "task out of range");
+        self.values[a.index() * self.n + b.index()]
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::task::Microtask;
+
+    fn tasks(n: u32) -> TaskSet {
+        (0..n)
+            .map(|i| Microtask::binary(TaskId(i), format!("t{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn matrix_metric_round_trips() {
+        let m = MatrixSimilarity::new(2, vec![1.0, 0.5, 0.5, 1.0], "test");
+        assert_eq!(m.similarity(TaskId(0), TaskId(1)), 0.5);
+        assert_eq!(m.similarity(TaskId(1), TaskId(0)), 0.5);
+        assert_eq!(m.name(), "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_rejected() {
+        MatrixSimilarity::new(2, vec![1.0, 0.4, 0.5, 1.0], "bad");
+    }
+
+    #[test]
+    fn from_edges_fills_defaults() {
+        let ts = tasks(3);
+        let m = MatrixSimilarity::from_edges(&ts, &[(TaskId(0), TaskId(2), 0.7)], "edges");
+        assert_eq!(m.similarity(TaskId(0), TaskId(2)), 0.7);
+        assert_eq!(m.similarity(TaskId(2), TaskId(0)), 0.7);
+        assert_eq!(m.similarity(TaskId(0), TaskId(1)), 0.0);
+        assert_eq!(m.similarity(TaskId(1), TaskId(1)), 1.0);
+    }
+
+    #[test]
+    fn boxed_metric_delegates() {
+        let boxed: Box<dyn TaskSimilarity + Send + Sync> =
+            Box::new(MatrixSimilarity::new(1, vec![1.0], "inner"));
+        assert_eq!(boxed.name(), "inner");
+        assert_eq!(boxed.similarity(TaskId(0), TaskId(0)), 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Corpus-level tf-idf vectorization.
+//!
+//! Backs the `Cos(tf-idf)` similarity of Appendix D.1: each microtask is a
+//! vector of term weights `tf(t, d) * idf(t)` with
+//! `idf(t) = ln((1 + N) / (1 + df(t))) + 1` (smoothed so unseen terms stay
+//! finite), L2-normalized so cosine similarity is a plain dot product.
+
+use std::collections::HashMap;
+
+use crate::tokenize::{Tokenizer, Vocabulary};
+
+/// A sparse, L2-normalized tf-idf document vector (term id → weight),
+/// stored sorted by term id for merge-style dot products.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// Builds from unsorted `(term, weight)` pairs, merging duplicates.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(t, _)| t);
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (t, w) in pairs {
+            match entries.last_mut() {
+                Some((lt, lw)) if *lt == t => *lw += w,
+                _ => entries.push((t, w)),
+            }
+        }
+        Self { entries }
+    }
+
+    /// The entries, sorted by term id.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, w)| w * w)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales the vector to unit L2 norm (no-op on the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for (_, w) in &mut self.entries {
+                *w /= n;
+            }
+        }
+    }
+
+    /// Dot product with another sparse vector (merge join on term ids).
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// A fitted tf-idf model: vocabulary, idf weights, per-document vectors.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    vocab: Vocabulary,
+    idf: Vec<f64>,
+    vectors: Vec<SparseVector>,
+}
+
+impl TfIdfModel {
+    /// Fits tf-idf on a corpus of texts.
+    pub fn fit<'a>(tokenizer: &Tokenizer, texts: impl IntoIterator<Item = &'a str>) -> Self {
+        let (docs, vocab) = crate::tokenize::encode_corpus(tokenizer, texts);
+        let n_docs = docs.len();
+        // Document frequency per term.
+        let mut df = vec![0u32; vocab.len()];
+        for doc in &docs {
+            let mut seen: Vec<u32> = doc.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                df[t as usize] += 1;
+            }
+        }
+        let idf: Vec<f64> = df
+            .iter()
+            .map(|&d| ((1.0 + n_docs as f64) / (1.0 + d as f64)).ln() + 1.0)
+            .collect();
+        let vectors = docs
+            .iter()
+            .map(|doc| {
+                let mut tf: HashMap<u32, f64> = HashMap::new();
+                for &t in doc {
+                    *tf.entry(t).or_insert(0.0) += 1.0;
+                }
+                let mut v = SparseVector::from_pairs(
+                    tf.into_iter()
+                        .map(|(t, f)| (t, f * idf[t as usize]))
+                        .collect(),
+                );
+                v.normalize();
+                v
+            })
+            .collect();
+        Self { vocab, idf, vectors }
+    }
+
+    /// The fitted vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The idf weight of a term id.
+    pub fn idf(&self, term: u32) -> Option<f64> {
+        self.idf.get(term as usize).copied()
+    }
+
+    /// The normalized tf-idf vector of document `i`.
+    pub fn vector(&self, i: usize) -> &SparseVector {
+        &self.vectors[i]
+    }
+
+    /// Number of fitted documents.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the model holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Cosine similarity between fitted documents `i` and `j`, clamped to
+    /// `[0, 1]` (weights are non-negative so this only guards rounding).
+    pub fn cosine(&self, i: usize, j: usize) -> f64 {
+        self.vectors[i].dot(&self.vectors[j]).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_vector_merges_duplicates_and_sorts() {
+        let v = SparseVector::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 1.5)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_product_via_merge_join() {
+        let a = SparseVector::from_pairs(vec![(0, 1.0), (2, 2.0)]);
+        let b = SparseVector::from_pairs(vec![(2, 3.0), (5, 1.0)]);
+        assert_eq!(a.dot(&b), 6.0);
+        assert_eq!(b.dot(&a), 6.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = SparseVector::from_pairs(vec![(0, 3.0), (1, 4.0)]);
+        v.normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        // Zero vector stays zero without NaN.
+        let mut z = SparseVector::from_pairs(vec![]);
+        z.normalize();
+        assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn identical_documents_have_cosine_one() {
+        let t = Tokenizer::keeping_stopwords();
+        let m = TfIdfModel::fit(&t, ["iphone wifi 32gb", "iphone wifi 32gb"]);
+        assert!((m.cosine(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_documents_have_cosine_zero() {
+        let t = Tokenizer::keeping_stopwords();
+        let m = TfIdfModel::fit(&t, ["iphone wifi", "nba lakers"]);
+        assert_eq!(m.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_terms() {
+        // "shared" appears in every doc; "rare" only in two. Docs 0 and 1
+        // share the rare term, docs 0 and 2 only the common one.
+        let t = Tokenizer::keeping_stopwords();
+        let m = TfIdfModel::fit(
+            &t,
+            ["shared rare", "shared rare", "shared other", "shared thing"],
+        );
+        assert!(m.cosine(0, 1) > m.cosine(0, 2));
+        let shared = m.vocabulary().get("shared").unwrap();
+        let rare = m.vocabulary().get("rare").unwrap();
+        assert!(m.idf(rare).unwrap() > m.idf(shared).unwrap());
+    }
+
+    #[test]
+    fn empty_document_is_harmless() {
+        let t = Tokenizer::new();
+        let m = TfIdfModel::fit(&t, ["iphone wifi", ""]);
+        assert_eq!(m.cosine(0, 1), 0.0);
+        assert_eq!(m.vector(1).nnz(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The Appendix-A deployment loop, demonstrated in concurrent mode:
+//! worker threads fire ExternalQuestion requests at a single-threaded
+//! iCrowd server over channels, exactly like AMT callbacks hitting the
+//! paper's web server. Prints the event flow and the payment ledger.
+//!
+//! ```sh
+//! cargo run --release --example amt_server
+//! ```
+
+use icrowd::core::{ICrowdConfig, WarmupConfig};
+use icrowd::platform::concurrent::run_concurrent;
+use icrowd::platform::market::WorkerBehavior;
+use icrowd::platform::ExternalQuestionServer;
+use icrowd::{AssignStrategy, ICrowdBuilder};
+use icrowd_sim::datasets::table1::table1;
+use icrowd_text::{JaccardSimilarity, Tokenizer};
+
+fn main() {
+    let dataset = table1();
+    let metric = JaccardSimilarity::new(&dataset.tasks, &Tokenizer::keeping_stopwords());
+    let mut server = ICrowdBuilder::new(dataset.tasks.clone())
+        .config(ICrowdConfig {
+            similarity_threshold: 0.5,
+            warmup: WarmupConfig {
+                num_qualification: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .strategy(AssignStrategy::Adapt)
+        .metric(&metric)
+        .build();
+
+    // Five worker threads hammer the server concurrently.
+    let behaviors: Vec<Box<dyn WorkerBehavior + Send>> = dataset
+        .spawn_workers(11)
+        .into_iter()
+        .map(|w| Box::new(w) as Box<dyn WorkerBehavior + Send>)
+        .collect();
+
+    println!("starting the concurrent ExternalQuestion loop with 5 worker threads...");
+    let outcome = run_concurrent(&dataset.tasks, &mut server, behaviors, 30);
+    println!(
+        "collected {} answers; per-worker: {:?}",
+        outcome.answers, outcome.per_worker
+    );
+    println!(
+        "campaign complete: {} (declined requests: {}, performance tests: {})",
+        server.is_complete(),
+        server.declined_requests(),
+        server.test_assignments()
+    );
+
+    let results = server.results();
+    let correct = dataset
+        .tasks
+        .iter()
+        .filter(|t| results.get(&t.id) == t.ground_truth.as_ref())
+        .count();
+    println!(
+        "final accuracy: {correct}/{} microtasks",
+        dataset.tasks.len()
+    );
+}

@@ -1,0 +1,48 @@
+//! The YahooQA campaign: iCrowd against every baseline on the paper's
+//! first dataset (Section 6.1).
+//!
+//! ```sh
+//! cargo run --release --example yahooqa_eval
+//! ```
+
+use icrowd::AssignStrategy;
+use icrowd_sim::campaign::{run_campaign, Approach, CampaignConfig};
+use icrowd_sim::datasets::yahooqa;
+
+fn main() {
+    let dataset = yahooqa(42);
+    let (t, d, w) = dataset.statistics();
+    println!("YahooQA: {t} question-answer microtasks, {d} domains, {w} workers\n");
+
+    let config = CampaignConfig::default();
+    println!(
+        "{:<12} {:>8} {:>9} {:>7} {:>12}",
+        "approach", "overall", "answers", "cents", "elapsed(ms)"
+    );
+    for approach in [
+        Approach::RandomMV,
+        Approach::RandomEM,
+        Approach::AvgAccPV,
+        Approach::ICrowd(AssignStrategy::QfOnly),
+        Approach::ICrowd(AssignStrategy::BestEffort),
+        Approach::ICrowd(AssignStrategy::Adapt),
+    ] {
+        let r = run_campaign(&dataset, approach, &config);
+        println!(
+            "{:<12} {:>8.3} {:>9} {:>7} {:>12.0}",
+            r.approach, r.overall, r.answers, r.spend_cents, r.elapsed_ms
+        );
+    }
+
+    println!("\nper-domain view of the full iCrowd run:");
+    let r = run_campaign(&dataset, Approach::ICrowd(AssignStrategy::Adapt), &config);
+    for d in &r.per_domain {
+        println!(
+            "  {:<16} {:.3} ({}/{})",
+            d.domain,
+            d.accuracy(),
+            d.correct,
+            d.total
+        );
+    }
+}

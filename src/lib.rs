@@ -1,0 +1,13 @@
+//! Workspace root crate: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). The library surface
+//! simply re-exports the workspace members for convenience.
+
+pub use icrowd;
+pub use icrowd_assign as assign;
+pub use icrowd_baselines as baselines;
+pub use icrowd_core as core;
+pub use icrowd_estimate as estimate;
+pub use icrowd_graph as graph;
+pub use icrowd_platform as platform;
+pub use icrowd_sim as sim;
+pub use icrowd_text as text;

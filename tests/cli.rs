@@ -1,0 +1,47 @@
+//! Library-level integration of the CLI command surface (the same code
+//! path `icrowd <cmd>` runs; the binary itself is a three-line shim).
+
+use icrowd_cli::{run, Args};
+
+fn run_line(line: &str) -> Result<String, icrowd_cli::CliError> {
+    run(&Args::parse(line.split_whitespace().map(str::to_owned)).unwrap())
+}
+
+#[test]
+fn compare_on_table1_lists_all_approaches() {
+    let out = run_line("compare --dataset table1 --q 3 --threshold 0.4").unwrap();
+    for name in ["RandomMV", "RandomEM", "AvgAccPV", "iCrowd"] {
+        assert!(out.contains(name), "missing {name}: {out}");
+    }
+}
+
+#[test]
+fn campaign_json_has_the_full_result_schema() {
+    let out = run_line(
+        "campaign --dataset quiz --approach icrowd --q 4 --threshold 0.2 --metric cos-tfidf --json",
+    )
+    .unwrap();
+    let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+    for key in [
+        "dataset",
+        "approach",
+        "overall_accuracy",
+        "per_domain",
+        "answers",
+        "spend_cents",
+        "gold_tasks",
+        "elapsed_ms",
+    ] {
+        assert!(!v[key].is_null(), "missing key {key}");
+    }
+    assert_eq!(v["dataset"], "Quiz");
+}
+
+#[test]
+fn quals_strategy_switch_changes_selection() {
+    let inf = run_line("quals --dataset yahooqa --q 6").unwrap();
+    let rand = run_line("quals --dataset yahooqa --q 6 --strategy random").unwrap();
+    assert!(inf.contains("InfQF"));
+    assert!(rand.contains("RamdomQF"));
+    assert_ne!(inf, rand, "the two strategies pick different tasks");
+}

@@ -1,0 +1,191 @@
+//! Cross-crate invariants: the algebraic relationships between layers
+//! that no unit test can see in isolation.
+
+use icrowd::assign::{greedy_assign, optimal_assign, top_worker_set, TopWorkerSet};
+use icrowd::assign::greedy::scheme_objective;
+use icrowd::core::{
+    majority_vote, worker_set_accuracy, Answer, ICrowdConfig, PprConfig, TaskId, Vote, WorkerId,
+};
+use icrowd::estimate::{AccuracyEstimator, EstimationMode};
+use icrowd::graph::{power_iteration, GraphBuilder, LinearityIndex, SimilarityGraph, SparseTaskVector};
+use icrowd::text::{CosineTfIdf, JaccardSimilarity, TaskSimilarity, Tokenizer};
+use icrowd_sim::datasets::{table1, yahooqa};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn linearity_index_reproduces_direct_ppr_on_real_datasets() {
+    // Algorithm 1's online path (index lookup) must equal Equation (4)'s
+    // direct solve on the actual YahooQA similarity graph.
+    let ds = yahooqa(5);
+    let metric = CosineTfIdf::new(&ds.tasks, &Tokenizer::new());
+    let graph = GraphBuilder::new(0.5).build(&ds.tasks, &metric);
+    let cfg = PprConfig {
+        index_epsilon: 0.0,
+        ..Default::default()
+    };
+    let index = LinearityIndex::build(&graph, 1.0, &cfg);
+    let q = SparseTaskVector::from_pairs(vec![(3, 1.0), (40, 0.25), (99, 0.75)]);
+    let via_index = index.estimate_dense(&q);
+    let direct = power_iteration(&graph, &q.to_dense(graph.num_tasks()), 1.0, &cfg);
+    for (a, b) in via_index.iter().zip(&direct) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn greedy_never_beats_optimal_and_respects_disjointness() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..30 {
+        let sets: Vec<TopWorkerSet> = (0..rng.gen_range(2..12u32))
+            .map(|t| {
+                let size = rng.gen_range(1..=3usize);
+                let members: Vec<(WorkerId, f64)> = (0..size)
+                    .map(|_| (WorkerId(rng.gen_range(0..8u32)), rng.gen_range(0.2..1.0)))
+                    .collect();
+                // Dedup worker ids inside a set.
+                let mut seen = std::collections::HashSet::new();
+                let members: Vec<_> = members
+                    .into_iter()
+                    .filter(|(w, _)| seen.insert(*w))
+                    .collect();
+                top_worker_set(TaskId(t), members, size)
+            })
+            .collect();
+        let g = greedy_assign(&sets);
+        let o = optimal_assign(&sets);
+        assert!(scheme_objective(&g) <= scheme_objective(&o) + 1e-9);
+        for scheme in [&g, &o] {
+            let mut used = std::collections::HashSet::new();
+            for a in scheme.iter() {
+                for w in a.worker_ids() {
+                    assert!(used.insert(w), "worker {w} reused");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn estimator_is_consistent_with_majority_voting_semantics() {
+    // A task completed 2-0 by two high-prior workers must raise both
+    // workers' observed accuracy above 0.5, and the consensus answer must
+    // equal what majority voting would say.
+    let g = SimilarityGraph::from_edges(3, &[(TaskId(0), TaskId(1), 0.9)]);
+    let mut est = AccuracyEstimator::new(g, ICrowdConfig::default(), EstimationMode::Normalized);
+    est.record_qualification(WorkerId(0), TaskId(0), Answer::YES, Answer::YES);
+    est.record_qualification(WorkerId(1), TaskId(0), Answer::YES, Answer::YES);
+    let votes = vec![
+        Vote {
+            worker: WorkerId(0),
+            answer: Answer::NO,
+        },
+        Vote {
+            worker: WorkerId(1),
+            answer: Answer::NO,
+        },
+    ];
+    let mv = majority_vote(&votes, 2).unwrap();
+    assert_eq!(mv.answer, Answer::NO);
+    est.record_completed_task(TaskId(1), &votes, mv.answer);
+    for w in [WorkerId(0), WorkerId(1)] {
+        let q = est.observed_at(w, TaskId(1)).unwrap();
+        assert!(q > 0.5, "agreeing with a credible consensus: q = {q}");
+    }
+}
+
+#[test]
+fn figure3_pipeline_is_self_consistent() {
+    // Table 1 → Jaccard → graph → index → influence covers the three
+    // product families with exactly three qualification tasks.
+    let ds = table1();
+    let metric = JaccardSimilarity::new(&ds.tasks, &Tokenizer::keeping_stopwords());
+    let graph = GraphBuilder::new(0.5).build(&ds.tasks, &metric);
+    let index = LinearityIndex::build(&graph, 1.0, &PprConfig::default());
+    let quals = icrowd::assign::select_qualification_influence(&index, 3);
+    assert_eq!(quals.len(), 3);
+    let domains: std::collections::HashSet<_> = quals
+        .iter()
+        .map(|&q| ds.tasks[q].domain.unwrap())
+        .collect();
+    assert_eq!(
+        domains.len(),
+        3,
+        "influence maximization should pick one task per product family, got {quals:?}"
+    );
+}
+
+#[test]
+fn similarity_metrics_agree_on_extremes() {
+    // All text metrics must call identical texts maximal and disjoint
+    // texts minimal — a contract the graph layer relies on.
+    let tasks: icrowd::core::TaskSet = [
+        "alpha beta gamma",
+        "alpha beta gamma",
+        "delta epsilon zeta",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, t)| icrowd::core::Microtask::binary(TaskId(i as u32), *t))
+    .collect();
+    let tok = Tokenizer::keeping_stopwords();
+    let metrics: Vec<Box<dyn TaskSimilarity>> = vec![
+        Box::new(JaccardSimilarity::new(&tasks, &tok)),
+        Box::new(CosineTfIdf::new(&tasks, &tok)),
+    ];
+    for m in &metrics {
+        assert!(
+            m.similarity(TaskId(0), TaskId(1)) > 0.999,
+            "{} on identical texts",
+            m.name()
+        );
+        assert!(
+            m.similarity(TaskId(0), TaskId(2)) < 1e-9,
+            "{} on disjoint texts",
+            m.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Pr(W)` of the top worker set is monotone under adding the
+    /// next-best worker when `|W|` is even (a tie-breaking vote can only
+    /// help), linking Definition 3 to Equation (1).
+    #[test]
+    fn adding_a_tiebreaker_never_hurts(
+        probs in proptest::collection::vec(0.5f64..0.99, 3..8),
+    ) {
+        let mut sorted = probs.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let even = &sorted[..2];
+        let odd = &sorted[..3];
+        prop_assert!(worker_set_accuracy(odd) + 1e-12 >= worker_set_accuracy(even));
+    }
+
+    /// Graph construction from any symmetric metric keeps estimates
+    /// finite and in range across the estimator.
+    #[test]
+    fn estimator_stays_in_range_on_random_graphs(
+        edges in proptest::collection::vec((0u32..12, 0u32..12, 0.1f64..1.0), 0..40),
+        quals in proptest::collection::vec((0u32..12, proptest::bool::ANY), 1..6),
+    ) {
+        let edges: Vec<_> = edges
+            .into_iter()
+            .filter(|(a, b, _)| a != b)
+            .map(|(a, b, s)| (TaskId(a), TaskId(b), s))
+            .collect();
+        let g = SimilarityGraph::from_edges(12, &edges);
+        let mut est = AccuracyEstimator::new(g, ICrowdConfig::default(), EstimationMode::Normalized);
+        for (t, ok) in quals {
+            let ans = if ok { Answer::YES } else { Answer::NO };
+            est.record_qualification(WorkerId(0), TaskId(t), ans, Answer::YES);
+        }
+        for &v in est.accuracies(WorkerId(0)) {
+            prop_assert!(v.is_finite());
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end campaigns across every crate: datasets → similarity →
+//! graph → estimation → assignment → platform → aggregation → metrics.
+
+use icrowd::core::{ICrowdConfig, WarmupConfig};
+use icrowd::AssignStrategy;
+use icrowd_sim::campaign::{run_campaign, Approach, CampaignConfig, MetricChoice};
+use icrowd_sim::datasets::{table1, yahooqa};
+
+fn table1_config() -> CampaignConfig {
+    CampaignConfig {
+        metric: MetricChoice::Jaccard,
+        icrowd: ICrowdConfig {
+            similarity_threshold: 0.4,
+            warmup: WarmupConfig {
+                num_qualification: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_approach_completes_a_yahooqa_campaign() {
+    let ds = yahooqa(7);
+    let config = CampaignConfig::default();
+    for approach in [
+        Approach::RandomMV,
+        Approach::RandomEM,
+        Approach::AvgAccPV,
+        Approach::ICrowd(AssignStrategy::Adapt),
+        Approach::ICrowd(AssignStrategy::BestEffort),
+        Approach::ICrowd(AssignStrategy::QfOnly),
+    ] {
+        let r = run_campaign(&ds, approach, &config);
+        assert!(
+            r.overall > 0.3,
+            "{} collapsed to {:.3}",
+            r.approach,
+            r.overall
+        );
+        assert!(r.answers > 100, "{}: only {} answers", r.approach, r.answers);
+        // Every domain is measured.
+        assert_eq!(r.per_domain.len(), 6);
+        let measured: usize = r.per_domain.iter().map(|d| d.total).sum();
+        assert_eq!(measured, 110 - r.gold.len());
+    }
+}
+
+#[test]
+fn icrowd_beats_random_assignment_on_expert_crowds() {
+    // Averaged over seeds to be robust against crowd noise: the adaptive
+    // strategy must beat random assignment + majority voting on the
+    // domain-diverse YahooQA regime — the paper's headline claim.
+    let config = CampaignConfig::default();
+    let (mut ic_sum, mut mv_sum) = (0.0, 0.0);
+    for seed in [42u64, 1337, 20150531, 7] {
+        let ds = yahooqa(seed);
+        let config = CampaignConfig {
+            seed,
+            ..config.clone()
+        };
+        ic_sum += run_campaign(&ds, Approach::ICrowd(AssignStrategy::Adapt), &config).overall;
+        mv_sum += run_campaign(&ds, Approach::RandomMV, &config).overall;
+    }
+    assert!(
+        ic_sum > mv_sum + 0.1,
+        "iCrowd ({:.3} avg) should clearly beat RandomMV ({:.3} avg)",
+        ic_sum / 4.0,
+        mv_sum / 4.0
+    );
+}
+
+#[test]
+fn campaign_accounting_is_consistent() {
+    let ds = table1();
+    let r = run_campaign(&ds, Approach::ICrowd(AssignStrategy::Adapt), &table1_config());
+    // Spend is a multiple of the per-HIT reward.
+    assert_eq!(r.spend_cents % 10, 0);
+    // Worker assignment counts cover every profile.
+    assert_eq!(r.worker_assignments.len(), ds.workers.len());
+    let assigned: u32 = r.worker_assignments.iter().map(|&(_, c)| c).sum();
+    assert!(assigned > 0);
+    // Regular assignments can't exceed collected answers.
+    assert!((assigned as usize) <= r.answers);
+}
+
+#[test]
+fn gold_tasks_are_excluded_from_measurement_for_every_approach() {
+    let ds = table1();
+    let config = table1_config();
+    for approach in [Approach::RandomMV, Approach::ICrowd(AssignStrategy::Adapt)] {
+        let r = run_campaign(&ds, approach, &config);
+        let measured: usize = r.per_domain.iter().map(|d| d.total).sum();
+        assert_eq!(measured + r.gold.len(), ds.tasks.len(), "{}", r.approach);
+    }
+}

@@ -1,0 +1,125 @@
+//! Failure injection: abandoned assignments, protocol slop and worker
+//! churn must not wedge the framework.
+
+use icrowd::core::{Answer, ICrowdConfig, Microtask, TaskId, TaskSet, Tick, WarmupConfig};
+use icrowd::platform::ExternalQuestionServer;
+use icrowd::{AssignStrategy, ICrowd, ICrowdBuilder};
+use icrowd_text::metric::MatrixSimilarity;
+
+fn tasks(n: u32) -> TaskSet {
+    (0..n)
+        .map(|i| Microtask::binary(TaskId(i), format!("task {i}")).with_ground_truth(Answer::YES))
+        .collect()
+}
+
+fn server(n: u32, window: u64) -> ICrowd {
+    let ts = tasks(n);
+    let metric = MatrixSimilarity::from_edges(&ts, &[], "empty");
+    ICrowdBuilder::new(ts)
+        .config(ICrowdConfig {
+            activity_window: window,
+            warmup: WarmupConfig {
+                num_qualification: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .strategy(AssignStrategy::Adapt)
+        .metric(&metric)
+        .build()
+}
+
+#[test]
+fn abandoned_assignments_release_capacity_after_the_activity_window() {
+    let mut srv = server(4, 10);
+    // Ghost worker passes warm-up, takes a regular task and vanishes.
+    let q = srv.request_task("GHOST", Tick(0)).unwrap();
+    srv.submit_answer("GHOST", q, Answer::YES, Tick(0));
+    let abandoned = srv.request_task("GHOST", Tick(1)).unwrap();
+
+    // Three diligent workers churn; after the window expires the
+    // abandoned task must become assignable again and the campaign must
+    // complete.
+    let mut tick = 20u64; // past GHOST's activity window
+    let mut guard = 0;
+    while !srv.is_complete() {
+        guard += 1;
+        assert!(guard < 400, "abandoned task wedged the campaign");
+        for name in ["A", "B", "C"] {
+            if let Some(t) = srv.request_task(name, Tick(tick)) {
+                srv.submit_answer(name, t, Answer::YES, Tick(tick));
+            }
+            tick += 1;
+        }
+    }
+    // The abandoned task completed via other workers.
+    assert!(srv.consensus().is_completed(abandoned));
+}
+
+#[test]
+fn duplicate_and_unsolicited_submissions_are_tolerated() {
+    let mut srv = server(3, 30);
+    let q = srv.request_task("A", Tick(0)).unwrap();
+    srv.submit_answer("A", q, Answer::YES, Tick(0));
+    let t1 = srv.request_task("A", Tick(1)).unwrap();
+    srv.submit_answer("A", t1, Answer::YES, Tick(1));
+    // Duplicate submission of the same task: dropped, no panic.
+    srv.submit_answer("A", t1, Answer::NO, Tick(2));
+    // Unsolicited submission for a task never assigned to B (after B's
+    // own warm-up flows): tolerated.
+    let qb = srv.request_task("B", Tick(3)).unwrap();
+    srv.submit_answer("B", qb, Answer::YES, Tick(3));
+    srv.submit_answer("B", TaskId(2), Answer::NO, Tick(4));
+    // The vote actually counted as a regular vote for B.
+    assert!(srv
+        .consensus()
+        .votes(TaskId(2))
+        .answer_of(icrowd::core::WorkerId(1))
+        .is_some());
+}
+
+#[test]
+fn a_crowd_of_rejected_workers_cannot_complete_but_does_not_panic() {
+    // 8 tasks, 3 of them qualification: 5 regular tasks can never
+    // complete once every worker is rejected.
+    let ts = tasks(8);
+    let metric = MatrixSimilarity::from_edges(&ts, &[], "empty");
+    let mut srv = ICrowdBuilder::new(ts)
+        .config(ICrowdConfig {
+            warmup: WarmupConfig {
+                num_qualification: 3,
+                reject_threshold: 0.9,
+                reject_after: 3,
+            },
+            ..Default::default()
+        })
+        .strategy(AssignStrategy::Adapt)
+        .metric(&metric)
+        .build();
+    // Both workers answer all qualifications wrong → rejected.
+    for name in ["A", "B"] {
+        for tick in 0..3 {
+            let t = srv.request_task(name, Tick(tick)).unwrap();
+            srv.submit_answer(name, t, Answer::NO, Tick(tick));
+        }
+        assert_eq!(srv.request_task(name, Tick(10)), None, "{name} rejected");
+    }
+    assert!(!srv.is_complete());
+    assert!(srv.declined_requests() >= 2);
+}
+
+#[test]
+fn re_requests_after_stale_purge_get_fresh_assignments() {
+    let mut srv = server(5, 5);
+    let q = srv.request_task("A", Tick(0)).unwrap();
+    srv.submit_answer("A", q, Answer::YES, Tick(0));
+    let first = srv.request_task("A", Tick(1)).unwrap();
+    // A goes silent past the window, then returns: her stale in-flight
+    // was purged, and the re-request hands out a (possibly identical,
+    // but freshly tracked) assignment without panicking.
+    let second = srv.request_task("A", Tick(100)).unwrap();
+    srv.submit_answer("A", second, Answer::YES, Tick(100));
+    let _ = first;
+    // Subsequent flow still works.
+    assert!(srv.request_task("A", Tick(101)).is_some());
+}

@@ -1,0 +1,76 @@
+//! Multi-choice microtasks end to end — the paper's Section 2.1 note
+//! that the techniques extend beyond YES/NO.
+
+use icrowd::AssignStrategy;
+use icrowd::core::{ICrowdConfig, WarmupConfig};
+use icrowd_sim::campaign::{run_campaign, Approach, CampaignConfig, MetricChoice};
+use icrowd_sim::datasets::quiz;
+
+fn quiz_config() -> CampaignConfig {
+    CampaignConfig {
+        metric: MetricChoice::CosTfIdf,
+        icrowd: ICrowdConfig {
+            similarity_threshold: 0.2,
+            warmup: WarmupConfig {
+                num_qualification: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn four_choice_campaigns_complete_for_every_approach() {
+    let ds = quiz(11);
+    let config = quiz_config();
+    for approach in [
+        Approach::RandomMV,
+        Approach::RandomEM,
+        Approach::AvgAccPV,
+        Approach::ICrowd(AssignStrategy::Adapt),
+    ] {
+        let r = run_campaign(&ds, approach, &config);
+        // Chance level for four choices is 0.25; any working pipeline
+        // lands well above it.
+        assert!(
+            r.overall > 0.35,
+            "{} scored {:.3} on 4-choice tasks",
+            r.approach,
+            r.overall
+        );
+        assert!(r.answers > 0);
+        let measured: usize = r.per_domain.iter().map(|d| d.total).sum();
+        assert_eq!(measured, 80 - r.gold.len(), "{}", r.approach);
+    }
+}
+
+#[test]
+fn majority_threshold_still_governs_completion_with_four_choices() {
+    // With 4 choices and k = 3, two agreeing votes complete a task but a
+    // 1/1/1 split cannot; campaigns must still terminate because the
+    // marketplace keeps assigning until capacity is reached and final
+    // answers fall back to plurality.
+    let ds = quiz(5);
+    let r = run_campaign(&ds, Approach::ICrowd(AssignStrategy::Adapt), &quiz_config());
+    assert!(r.overall > 0.0);
+}
+
+#[test]
+fn early_stopping_works_with_four_choices() {
+    let ds = quiz(3);
+    let mut config = quiz_config();
+    config.icrowd.early_stop_confidence = Some(0.9);
+    config.icrowd.assignment_size = 5;
+    let with_stop = run_campaign(&ds, Approach::ICrowd(AssignStrategy::Adapt), &config);
+    let mut config_off = quiz_config();
+    config_off.icrowd.assignment_size = 5;
+    let without = run_campaign(&ds, Approach::ICrowd(AssignStrategy::Adapt), &config_off);
+    assert!(
+        with_stop.answers <= without.answers,
+        "early stopping must not cost more answers ({} vs {})",
+        with_stop.answers,
+        without.answers
+    );
+}

@@ -59,8 +59,10 @@ impl Assignment {
 /// assert_eq!(tasks, vec![TaskId(1), TaskId(2)]);
 /// ```
 pub fn greedy_assign(candidates: &[TopWorkerSet]) -> Vec<Assignment> {
-    let mut order: Vec<&TopWorkerSet> =
-        candidates.iter().filter(|c| !c.workers.is_empty()).collect();
+    let mut order: Vec<&TopWorkerSet> = candidates
+        .iter()
+        .filter(|c| !c.workers.is_empty())
+        .collect();
     order.sort_by(|a, b| {
         b.average_accuracy()
             .partial_cmp(&a.average_accuracy())
@@ -114,10 +116,7 @@ mod tests {
         let scheme = greedy_assign(&candidates);
         assert_eq!(scheme.len(), 2);
         assert_eq!(scheme[0].task, t(10), "t11 wins the first iteration");
-        assert_eq!(
-            scheme[0].worker_ids().collect::<Vec<_>>(),
-            vec![w(4), w(2)]
-        );
+        assert_eq!(scheme[0].worker_ids().collect::<Vec<_>>(), vec![w(4), w(2)]);
         assert_eq!(scheme[1].task, t(8), "t9 wins the second iteration");
         // Objective: (0.85 + 0.8) + (0.85 + 0.75 + 0.7).
         assert!((scheme_objective(&scheme) - 3.95).abs() < 1e-12);

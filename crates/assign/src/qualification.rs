@@ -112,11 +112,7 @@ pub fn select_qualification_influence(index: &LinearityIndex, q: usize) -> Vec<T
 
 /// Random qualification selection (`RandomQF`): `q` distinct tasks drawn
 /// uniformly, in draw order.
-pub fn select_qualification_random<R: Rng>(
-    num_tasks: usize,
-    q: usize,
-    rng: &mut R,
-) -> Vec<TaskId> {
+pub fn select_qualification_random<R: Rng>(num_tasks: usize, q: usize, rng: &mut R) -> Vec<TaskId> {
     let mut ids: Vec<u32> = (0..num_tasks as u32).collect();
     let take = q.min(num_tasks);
     for i in 0..take {
@@ -172,8 +168,16 @@ mod tests {
         assert_eq!(sel.len(), 3);
         // First pick covers the biggest clique (A: 4 tasks), second the
         // next (B: 3), third the pair (C: 2).
-        assert!(sel[0].index() <= 3, "first pick from clique A, got {:?}", sel);
-        assert!((4..=6).contains(&sel[1].index()), "second from B: {:?}", sel);
+        assert!(
+            sel[0].index() <= 3,
+            "first pick from clique A, got {:?}",
+            sel
+        );
+        assert!(
+            (4..=6).contains(&sel[1].index()),
+            "second from B: {:?}",
+            sel
+        );
         assert!((7..=8).contains(&sel[2].index()), "third from C: {:?}", sel);
         // Together they influence all but the isolated task... the isolated
         // task influences only itself, and is not selected yet.

@@ -149,7 +149,10 @@ mod tests {
         }
         assert!(tr.is_eliminated(WorkerId(0), 0.6, 5));
         assert!(!tr.is_eliminated(WorkerId(0), 0.6, 6), "needs min answers");
-        assert!(!tr.is_eliminated(WorkerId(1), 0.6, 1), "unseen workers stay");
+        assert!(
+            !tr.is_eliminated(WorkerId(1), 0.6, 1),
+            "unseen workers stay"
+        );
     }
 
     #[test]
@@ -205,7 +208,11 @@ mod tests {
             votes: vec![vote(0, 1), vote(1, 0), vote(2, 0)],
         }];
         let out = agg.aggregate(1, 2, &votes);
-        assert_eq!(out[0], Some(Answer::YES), "the expert outvotes two spammers");
+        assert_eq!(
+            out[0],
+            Some(Answer::YES),
+            "the expert outvotes two spammers"
+        );
         assert_eq!(agg.name(), "AvgAccPV");
     }
 

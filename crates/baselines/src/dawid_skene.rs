@@ -326,7 +326,11 @@ mod tests {
                     .iter()
                     .enumerate()
                     .map(|(w, &p)| {
-                        let a = if rng.gen_bool(p) { truth } else { truth.negated() };
+                        let a = if rng.gen_bool(p) {
+                            truth
+                        } else {
+                            truth.negated()
+                        };
                         vote(w as u32, a.0)
                     })
                     .collect(),

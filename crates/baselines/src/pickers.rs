@@ -63,7 +63,10 @@ mod tests {
         // Determinism.
         let mut a = StdRng::seed_from_u64(9);
         let mut b = StdRng::seed_from_u64(9);
-        assert_eq!(random_pick(&eligible, &mut a), random_pick(&eligible, &mut b));
+        assert_eq!(
+            random_pick(&eligible, &mut a),
+            random_pick(&eligible, &mut b)
+        );
     }
 
     #[test]

@@ -43,9 +43,11 @@ fn bench_assignment(c: &mut Criterion) {
     // Exact solver only on paper-scale instances (Table 5's 3-7 workers).
     for &w in &[5usize, 7] {
         let sets = random_sets(30, w, 3, 13);
-        group.bench_with_input(BenchmarkId::new("optimal", format!("{w}workers")), &sets, |b, s| {
-            b.iter(|| optimal_assign(s))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("optimal", format!("{w}workers")),
+            &sets,
+            |b, s| b.iter(|| optimal_assign(s)),
+        );
     }
 
     // Qualification selection over a blocky graph.

@@ -12,8 +12,10 @@ fn bench_lda(c: &mut Criterion) {
         ("yahooqa_110", yahooqa(42).tasks),
         ("item_compare_360", item_compare(42).tasks),
     ] {
-        let (docs, vocab) =
-            icrowd::text::tokenize::encode_corpus(&tokenizer, tasks.iter().map(|t| t.text.as_str()));
+        let (docs, vocab) = icrowd::text::tokenize::encode_corpus(
+            &tokenizer,
+            tasks.iter().map(|t| t.text.as_str()),
+        );
         let v = vocab.len();
         group.bench_with_input(BenchmarkId::new("fit_50_sweeps", name), &docs, |b, d| {
             b.iter(|| {

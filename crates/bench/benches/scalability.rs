@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use icrowd::core::{Answer, ICrowdConfig, PprConfig, Tick, WarmupConfig};
+use icrowd::graph::GraphBuilder;
 use icrowd::platform::ExternalQuestionServer;
 use icrowd::{AssignStrategy, ICrowd, ICrowdBuilder};
-use icrowd::graph::GraphBuilder;
 use icrowd_sim::datasets::{scalability_edges, scalability_tasks};
 
 fn build_server(n: usize, cap: usize) -> ICrowd {
@@ -25,6 +25,7 @@ fn build_server(n: usize, cap: usize) -> ICrowd {
                 index_epsilon: 1e-3,
                 max_iterations: 20,
                 tolerance: 1e-6,
+                ..Default::default()
             },
             ..Default::default()
         })

@@ -17,8 +17,12 @@
 //! evidence neighborhoods, not `|T|`).
 //!
 //! Sizes default to the paper's 0.2M..1.0M; set `FIG10_SCALE=small` for
-//! a quick 20k..100k pass.
+//! a quick 20k..100k pass. `FIG10_THREADS` sets the offline-build worker
+//! thread count (`0`/unset = all hardware threads; the built index is
+//! bit-identical regardless). `FIG10_JSON=path` additionally appends one
+//! JSON object per configuration to `path` for machine consumption.
 
+use std::io::Write as _;
 use std::time::Instant;
 
 use icrowd::core::{Answer, ICrowdConfig, PprConfig, Tick, WarmupConfig};
@@ -45,7 +49,13 @@ fn main() {
     };
     let caps = [20usize, 40, 60];
 
+    // Fresh JSON output per run; children append their own rows.
+    if let Ok(path) = std::env::var("FIG10_JSON") {
+        let _ = std::fs::remove_file(path);
+    }
+
     println!("=== Figure 10: evaluating scalability with simulation ===");
+    println!("offline build threads: {}", build_threads_label());
     println!(
         "{:>12} {:>6} {:>18} {:>22} {:>16}",
         "#microtasks", "cap", "index build (s)", "1000 assignments (ms)", "per request (us)"
@@ -62,6 +72,22 @@ fn main() {
                 println!("{n:>12} {cap:>6}   (child failed: {status})");
             }
         }
+    }
+}
+
+/// The `FIG10_THREADS` knob: worker threads for graph + index build.
+/// `0` or unset defers to hardware parallelism.
+fn build_threads() -> usize {
+    std::env::var("FIG10_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn build_threads_label() -> String {
+    match build_threads() {
+        0 => format!("auto ({} hardware)", icrowd_graph::resolve_threads(0)),
+        n => n.to_string(),
     }
 }
 
@@ -93,6 +119,7 @@ fn run_one(n: usize, cap: usize) {
                 eprintln!("after graph: {} MB", rss_mb());
             }
 
+            let threads = build_threads();
             let config = ICrowdConfig {
                 warmup: WarmupConfig {
                     num_qualification: 10,
@@ -102,6 +129,7 @@ fn run_one(n: usize, cap: usize) {
                     index_epsilon: 1e-3,
                     max_iterations: 20,
                     tolerance: 1e-6,
+                    threads,
                 },
                 ..Default::default()
             };
@@ -145,6 +173,24 @@ fn run_one(n: usize, cap: usize) {
                 assign_time * 1e3,
                 assign_time * 1e6 / requests as f64
             );
+            if let Ok(path) = std::env::var("FIG10_JSON") {
+                let row = serde_json::json!({
+                    "tasks": n,
+                    "cap": cap,
+                    "threads": threads,
+                    "effective_threads": icrowd_graph::resolve_threads(threads),
+                    "index_build_s": build_s,
+                    "assign_1000_ms": assign_time * 1e3,
+                    "per_request_us": assign_time * 1e6 / requests as f64,
+                });
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                {
+                    let _ = writeln!(f, "{}", serde_json::to_string(&row).expect("row json"));
+                }
+            }
         }
     }
 }

@@ -22,7 +22,10 @@ fn main() {
 
     println!("=== Figure 15: assignment distribution over top-15 workers (ItemCompare) ===");
     println!("total regular assignments: {total}");
-    println!("{:<6} {:<18} {:>12} {:>10}", "rank", "worker", "assignments", "share");
+    println!(
+        "{:<6} {:<18} {:>12} {:>10}",
+        "rank", "worker", "assignments", "share"
+    );
     let mut top15 = 0u32;
     for (rank, (name, count)) in sorted.iter().take(15).enumerate() {
         top15 += count;

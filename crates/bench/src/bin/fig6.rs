@@ -10,8 +10,10 @@ use icrowd_platform::market::WorkerBehavior;
 use icrowd_sim::datasets::{item_compare, yahooqa, Dataset};
 
 fn main() {
-    let datasets: [(&str, &dyn Fn(u64) -> Dataset); 2] =
-        [("(a) YahooQA", &yahooqa), ("(b) ItemCompare", &item_compare)];
+    let datasets: [(&str, &dyn Fn(u64) -> Dataset); 2] = [
+        ("(a) YahooQA", &yahooqa),
+        ("(b) ItemCompare", &item_compare),
+    ];
     for (title, make) in datasets {
         let ds = make(42);
         println!("\n=== Figure 6 {title}: workers' accuracies across domains ===");
@@ -38,7 +40,11 @@ fn main() {
             print!("{:<18}", profile.name);
             let mut sum = 0.0;
             for &(c, t) in &counts {
-                let acc = if t == 0 { 0.0 } else { f64::from(c) / f64::from(t) };
+                let acc = if t == 0 {
+                    0.0
+                } else {
+                    f64::from(c) / f64::from(t)
+                };
                 sum += acc;
                 print!(" {acc:>14.3}");
             }

@@ -21,7 +21,8 @@ fn main() {
                     qual,
                     ..Default::default()
                 };
-                let mut r = averaged_campaign(make, Approach::ICrowd(AssignStrategy::Adapt), &config);
+                let mut r =
+                    averaged_campaign(make, Approach::ICrowd(AssignStrategy::Adapt), &config);
                 r.approach = qual.name().to_owned();
                 r
             })

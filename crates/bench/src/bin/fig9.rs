@@ -19,10 +19,8 @@ fn main() {
         Approach::ICrowd(AssignStrategy::Adapt),
     ];
 
-    let datasets: [(&str, &dyn Fn(u64) -> icrowd_sim::datasets::Dataset); 2] = [
-        ("YahooQA", &yahooqa),
-        ("ItemCompare", &item_compare),
-    ];
+    let datasets: [(&str, &dyn Fn(u64) -> icrowd_sim::datasets::Dataset); 2] =
+        [("YahooQA", &yahooqa), ("ItemCompare", &item_compare)];
     for (name, make) in datasets {
         let results: Vec<_> = approaches
             .iter()

@@ -6,10 +6,7 @@ use icrowd_sim::datasets::table1::{table1, table1_pairs};
 fn main() {
     let ds = table1();
     println!("=== Table 1: microtasks for verifying whether two entities are matched ===");
-    println!(
-        "{:<5} {:<55} Tokens",
-        "Task", "Verifying two entities"
-    );
+    println!("{:<5} {:<55} Tokens", "Task", "Verifying two entities");
     for (task, (a, b)) in ds.tasks.iter().zip(table1_pairs()) {
         println!(
             "{:<5} {:<55} {{{}}}",

@@ -7,8 +7,8 @@
 //! handles a couple more workers, reported as a bonus column block.
 
 use icrowd::core::{Answer, ICrowdConfig, TaskId};
-use icrowd_assign::{greedy_assign, optimal_assign, top_worker_set, TopWorkerSet};
 use icrowd_assign::greedy::scheme_objective;
+use icrowd_assign::{greedy_assign, optimal_assign, top_worker_set, TopWorkerSet};
 use icrowd_core::worker::WorkerId;
 use icrowd_estimate::{AccuracyEstimator, EstimationMode};
 use icrowd_sim::campaign::{build_graph, select_gold, CampaignConfig};
@@ -47,10 +47,8 @@ fn main() {
             let w = WorkerId(wi as u32);
             let mut worker = worker.clone();
             for &g in &gold {
-                let ans = icrowd_platform::market::WorkerBehavior::answer(
-                    &mut worker,
-                    &ds.tasks[g],
-                );
+                let ans =
+                    icrowd_platform::market::WorkerBehavior::answer(&mut worker, &ds.tasks[g]);
                 est.record_qualification(w, g, ans, ds.tasks[g].ground_truth.unwrap());
             }
         }
@@ -104,10 +102,7 @@ fn main() {
                 0.0
             };
         }
-        println!(
-            "{num_workers:>16} {:>22.1} {:>22.1}",
-            errors[0], errors[1]
-        );
+        println!("{num_workers:>16} {:>22.1} {:>22.1}", errors[0], errors[1]);
         let _ = Answer::YES;
     }
 }

@@ -59,10 +59,7 @@ pub fn averaged_campaign(
 
 fn accumulate(sums: &mut Vec<(String, f64)>, per_domain: &[DomainAccuracy]) {
     if sums.is_empty() {
-        *sums = per_domain
-            .iter()
-            .map(|d| (d.domain.clone(), 0.0))
-            .collect();
+        *sums = per_domain.iter().map(|d| (d.domain.clone(), 0.0)).collect();
     }
     for (slot, d) in sums.iter_mut().zip(per_domain) {
         debug_assert_eq!(slot.0, d.domain);

@@ -43,9 +43,7 @@ impl Args {
         let mut flags = Vec::new();
         while let Some(arg) = iter.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(CliError(format!(
-                    "unexpected positional argument `{arg}`"
-                )));
+                return Err(CliError(format!("unexpected positional argument `{arg}`")));
             };
             match iter.peek() {
                 Some(v) if !v.starts_with("--") => {

@@ -5,9 +5,7 @@ use std::fmt::Write as _;
 use icrowd::AssignStrategy;
 use icrowd_core::config::ICrowdConfig;
 use icrowd_graph::GraphBuilder;
-use icrowd_sim::campaign::{
-    run_campaign, Approach, CampaignConfig, MetricChoice, QualStrategy,
-};
+use icrowd_sim::campaign::{run_campaign, Approach, CampaignConfig, MetricChoice, QualStrategy};
 use icrowd_sim::datasets::{item_compare, quiz, table1, yahooqa, Dataset};
 
 use crate::args::{Args, CliError};
@@ -99,7 +97,11 @@ fn campaign_config(args: &Args, dataset: &str) -> Result<CampaignConfig, CliErro
     let qual = match args.get_or("strategy", "inf") {
         "inf" | "influence" => QualStrategy::Influence,
         "random" => QualStrategy::Random,
-        other => return Err(CliError(format!("unknown qualification strategy `{other}`"))),
+        other => {
+            return Err(CliError(format!(
+                "unknown qualification strategy `{other}`"
+            )))
+        }
     };
     let mut icrowd = ICrowdConfig {
         assignment_size: k,
@@ -121,7 +123,12 @@ fn campaign_config(args: &Args, dataset: &str) -> Result<CampaignConfig, CliErro
 
 fn datasets_cmd() -> Result<String, CliError> {
     let mut out = String::new();
-    writeln!(out, "{:<14} {:>8} {:>8} {:>8}", "dataset", "tasks", "domains", "workers").unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>8}",
+        "dataset", "tasks", "domains", "workers"
+    )
+    .unwrap();
     for name in ["yahooqa", "item_compare", "table1", "quiz"] {
         let ds = dataset_by_name(name, 42)?;
         let (t, d, w) = ds.statistics();
@@ -166,13 +173,30 @@ fn campaign_cmd(args: &Args) -> Result<String, CliError> {
     }
 
     let mut out = String::new();
-    writeln!(out, "{} on {} (seed {})", r.approach, r.dataset, config.seed).unwrap();
+    writeln!(
+        out,
+        "{} on {} (seed {})",
+        r.approach, r.dataset, config.seed
+    )
+    .unwrap();
     writeln!(out, "overall accuracy: {:.3}", r.overall).unwrap();
     for d in &r.per_domain {
-        writeln!(out, "  {:<16} {:.3} ({}/{})", d.domain, d.accuracy(), d.correct, d.total)
-            .unwrap();
+        writeln!(
+            out,
+            "  {:<16} {:.3} ({}/{})",
+            d.domain,
+            d.accuracy(),
+            d.correct,
+            d.total
+        )
+        .unwrap();
     }
-    writeln!(out, "answers: {}   spend: {} cents", r.answers, r.spend_cents).unwrap();
+    writeln!(
+        out,
+        "answers: {}   spend: {} cents",
+        r.answers, r.spend_cents
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -183,7 +207,12 @@ fn compare_cmd(args: &Args) -> Result<String, CliError> {
     let config = campaign_config(args, name)?;
     let ds = dataset_by_name(name, config.seed)?;
     let mut out = String::new();
-    writeln!(out, "{:<12} {:>9} {:>9} {:>8}", "approach", "overall", "answers", "cents").unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>9} {:>9} {:>8}",
+        "approach", "overall", "answers", "cents"
+    )
+    .unwrap();
     for approach in [
         Approach::RandomMV,
         Approach::RandomEM,
@@ -286,8 +315,7 @@ mod tests {
 
     #[test]
     fn campaign_json_output_parses() {
-        let out =
-            run_line("campaign --dataset table1 --approach icrowd --q 3 --json").unwrap();
+        let out = run_line("campaign --dataset table1 --approach icrowd --q 3 --json").unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
         assert_eq!(v["approach"], "iCrowd");
         assert!(v["overall_accuracy"].as_f64().unwrap() >= 0.0);
@@ -310,9 +338,15 @@ mod tests {
 
     #[test]
     fn errors_are_user_facing() {
-        assert!(run_line("nonsense").unwrap_err().0.contains("unknown subcommand"));
+        assert!(run_line("nonsense")
+            .unwrap_err()
+            .0
+            .contains("unknown subcommand"));
         assert!(run_line("campaign").unwrap_err().0.contains("--dataset"));
-        assert!(run_line("campaign --dataset mars").unwrap_err().0.contains("unknown dataset"));
+        assert!(run_line("campaign --dataset mars")
+            .unwrap_err()
+            .0
+            .contains("unknown dataset"));
         assert!(run_line("campaign --dataset table1 --approach magic")
             .unwrap_err()
             .0

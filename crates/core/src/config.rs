@@ -19,6 +19,11 @@ pub struct PprConfig {
     /// dropped from the linearity index (sparsification; keeps the index
     /// small on large graphs without visibly changing estimates).
     pub index_epsilon: f64,
+    /// Worker threads for offline construction (linearity-index build and
+    /// the pairwise similarity sweep). `0` means "use available hardware
+    /// parallelism"; `1` forces the serial path. Results are bit-identical
+    /// for every value — this knob trades wall-clock time only.
+    pub threads: usize,
 }
 
 impl Default for PprConfig {
@@ -27,6 +32,7 @@ impl Default for PprConfig {
             tolerance: 1e-9,
             max_iterations: 200,
             index_epsilon: 1e-6,
+            threads: 0,
         }
     }
 }

@@ -236,8 +236,7 @@ mod tests {
             },
         ];
         // p0 = 0.9, p1 = 0.6: P(YES) ∝ 0.9 * 0.4, P(NO) ∝ 0.1 * 0.6.
-        let (ans, conf) =
-            vote_posterior(&votes, 2, |w| if w.0 == 0 { 0.9 } else { 0.6 }).unwrap();
+        let (ans, conf) = vote_posterior(&votes, 2, |w| if w.0 == 0 { 0.9 } else { 0.6 }).unwrap();
         assert_eq!(ans, Answer::YES);
         let want = 0.36 / (0.36 + 0.06);
         assert!((conf - want).abs() < 1e-12);

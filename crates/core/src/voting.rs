@@ -239,9 +239,8 @@ impl ConsensusState {
         let mut out = HashMap::with_capacity(self.vote_sets.len());
         for (i, vs) in self.vote_sets.iter().enumerate() {
             let id = TaskId(i as u32);
-            let ans = self.completed[i].or_else(|| {
-                majority_vote(vs.votes(), tasks[id].num_choices).map(|o| o.answer)
-            });
+            let ans = self.completed[i]
+                .or_else(|| majority_vote(vs.votes(), tasks[id].num_choices).map(|o| o.answer));
             if let Some(a) = ans {
                 out.insert(id, a);
             }
@@ -315,9 +314,16 @@ mod tests {
         let ts = tasks(3);
         let mut cs = ConsensusState::new(&ts, 3);
         assert_eq!(cs.num_completed(), 0);
-        assert!(cs.record(TaskId(0), vote(1, Answer::YES)).unwrap().is_none());
+        assert!(cs
+            .record(TaskId(0), vote(1, Answer::YES))
+            .unwrap()
+            .is_none());
         let done = cs.record(TaskId(0), vote(2, Answer::YES)).unwrap();
-        assert_eq!(done, Some(Answer::YES), "2/3 same answers complete the task");
+        assert_eq!(
+            done,
+            Some(Answer::YES),
+            "2/3 same answers complete the task"
+        );
         assert!(cs.is_completed(TaskId(0)));
         assert_eq!(cs.num_completed(), 1);
         assert_eq!(cs.completed_tasks().collect::<Vec<_>>(), vec![TaskId(0)]);

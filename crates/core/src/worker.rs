@@ -162,9 +162,9 @@ impl ActivityTracker {
 
     /// Whether `worker` is active at `now`.
     pub fn is_active(&self, worker: WorkerId, now: Tick) -> bool {
-        self.workers
-            .get(worker.index())
-            .is_some_and(|w| !w.rejected && (w.holds_hit || now.since(w.last_request) < self.window))
+        self.workers.get(worker.index()).is_some_and(|w| {
+            !w.rejected && (w.holds_hit || now.since(w.last_request) < self.window)
+        })
     }
 
     /// All workers active at `now`, in id order.

@@ -2,10 +2,25 @@
 //!
 //! Offline, a [`LinearityIndex`] precomputes a PPR vector `p_{t_i}` per
 //! microtask (Lemma 3). Online, a worker's accuracy vector is the sparse
-//! weighted sum `Σ q_i^w · p_{t_i}` over her observed accuracies. The
-//! estimator caches the resulting dense vector per worker and invalidates
-//! it whenever new observations arrive, so repeated assignment rounds pay
-//! `O(1)` per lookup.
+//! weighted sum `Σ q_i^w · p_{t_i}` over her observed accuracies.
+//!
+//! ## Incremental accumulators
+//!
+//! Rather than re-summing over all observations on every estimate, each
+//! worker carries *running accumulators* keyed by task id — per task `j`
+//! the weighted sum `Σ_i q_i·w_i·M_ij`, the mass `Σ_i w_i·M_ij` and the
+//! squared mass `Σ_i (w_i·M_ij)²` (for the effective-sample-size
+//! shrinkage), where `w_i` is the mode's information weight. All three
+//! are independent of the worker's baseline, so recording one new
+//! observation is an `O(nnz(p_t))` delta: subtract the old observation's
+//! contribution (replacement case), add the new one. A per-cell
+//! contributor count retires a cell exactly when its last observation is
+//! withdrawn, so cancelled terms cannot leave floating-point residue in
+//! the normalized mode's `dev/mass` quotient. Estimates at any task are
+//! then a single cell lookup; the cached dense vector is patched in
+//! place over the delta's support whenever the baseline is unchanged,
+//! and only a baseline shift (a new qualification grade) forces a full
+//! — still accumulator-driven — rebuild.
 //!
 //! ## Unreached tasks
 //!
@@ -61,6 +76,29 @@ pub enum EstimationMode {
     Normalized,
 }
 
+/// One task's running accumulator cell. Field meaning depends on the
+/// [`EstimationMode`]:
+///
+/// * `Raw`: `s1 = Σ q_i·M_ij`; `mass`/`mass2` unused.
+/// * `Centered`: `s1 = Σ q_i·M_ij`, `mass = Σ M_ij`.
+/// * `Normalized`: `s1 = Σ q_i·info_i·M_ij`, `mass = Σ info_i·M_ij`,
+///   `mass2 = Σ (info_i·M_ij)²`.
+///
+/// All are baseline-free: centered deviations are recovered at read time
+/// as `s1 − b·mass`, so a shifting warm-up average never forces an
+/// accumulator rebuild.
+#[derive(Debug, Clone, Copy, Default)]
+struct AccumCell {
+    /// Number of observations currently contributing. When it returns to
+    /// zero the cell is *removed*, restoring exact zeros instead of the
+    /// `O(ε)` residue numeric cancellation would leave (which the
+    /// normalized mode would otherwise divide by).
+    n: u32,
+    s1: f64,
+    mass: f64,
+    mass2: f64,
+}
+
 /// Per-worker estimation state.
 #[derive(Debug, Clone)]
 struct WorkerState {
@@ -69,11 +107,19 @@ struct WorkerState {
     /// wrong answer — is a *valid, informative* observation that a
     /// zero-dropping sparse representation would silently discard.
     observed: std::collections::BTreeMap<u32, f64>,
+    /// Running accumulators over the union of the observed tasks' PPR
+    /// supports, keyed by task id. Maintained incrementally by
+    /// [`AccuracyEstimator::set_observed`].
+    accum: std::collections::BTreeMap<u32, AccumCell>,
     /// Correct / total counts on qualification microtasks.
     quals_correct: u32,
     quals_total: u32,
-    /// Cached dense estimate, invalidated on new observations.
+    /// Cached dense estimate. Patched in place over a delta's support
+    /// when the baseline is unchanged; dropped on baseline shifts.
     cache: Option<Vec<f64>>,
+    /// The baseline the cache was computed with (meaningless while
+    /// `cache` is `None`).
+    cache_baseline: f64,
     /// Evidence counts for Step-3 uncertainty.
     evidence: NeighborhoodEvidence,
 }
@@ -82,9 +128,11 @@ impl WorkerState {
     fn new(num_tasks: usize) -> Self {
         Self {
             observed: std::collections::BTreeMap::new(),
+            accum: std::collections::BTreeMap::new(),
             quals_correct: 0,
             quals_total: 0,
             cache: None,
+            cache_baseline: 0.0,
             evidence: NeighborhoodEvidence::new(num_tasks),
         }
     }
@@ -165,12 +213,17 @@ impl AccuracyEstimator {
     ) {
         self.register_worker(worker);
         let q = qualification_observed(answer, ground_truth);
+        let default_accuracy = self.config.default_accuracy;
+        let mode = self.mode;
         let state = &mut self.workers[worker.index()];
         state.quals_total += 1;
         if q > 0.5 {
             state.quals_correct += 1;
         }
-        Self::set_observed(&self.graph, state, task, q);
+        // Baseline *after* the counters advanced: the cache patch in
+        // `set_observed` must compare against the value future reads use.
+        let baseline = Self::state_baseline(state, default_accuracy);
+        Self::set_observed(&self.graph, &self.index, mode, baseline, state, task, q);
     }
 
     /// Records a globally completed microtask: every voter's observed
@@ -195,20 +248,122 @@ impl AccuracyEstimator {
         for v in votes {
             let matches = v.answer == consensus;
             let q = observed_accuracy(matches, &match_accs, &mismatch_accs);
+            let mode = self.mode;
+            let baseline = self.baseline(v.worker);
             let state = &mut self.workers[v.worker.index()];
-            Self::set_observed(&self.graph, state, task, q);
+            Self::set_observed(&self.graph, &self.index, mode, baseline, state, task, q);
         }
     }
 
-    fn set_observed(graph: &SimilarityGraph, state: &mut WorkerState, task: TaskId, q: f64) {
+    /// The baseline derived from a worker state directly (warm-up average
+    /// when available, else the configured default) — usable while the
+    /// state is mutably borrowed.
+    fn state_baseline(state: &WorkerState, default_accuracy: f64) -> f64 {
+        if state.quals_total > 0 {
+            f64::from(state.quals_correct) / f64::from(state.quals_total)
+        } else {
+            default_accuracy
+        }
+    }
+
+    fn set_observed(
+        graph: &SimilarityGraph,
+        index: &LinearityIndex,
+        mode: EstimationMode,
+        baseline: f64,
+        state: &mut WorkerState,
+        task: TaskId,
+        q: f64,
+    ) {
         let old = state.observed.insert(task.0, q);
-        state.cache = None;
         // Replace, don't double-count: withdraw the previous observation's
-        // evidence before adding the new one.
+        // contribution (accumulators and evidence) before adding the new
+        // one. Both deltas touch only `nnz(p_task)` cells.
         if let Some(old_q) = old {
+            Self::apply_delta(index, mode, &mut state.accum, task, old_q, -1.0);
             state.evidence.withdraw(graph, task, old_q);
         }
+        Self::apply_delta(index, mode, &mut state.accum, task, q, 1.0);
         state.evidence.record(graph, task, q);
+        // The dense cache only depends on the accumulators and the
+        // baseline, so while the baseline holds it can be patched over
+        // the delta's support instead of rebuilt.
+        match &mut state.cache {
+            Some(cache) if state.cache_baseline == baseline => {
+                for (j, _) in index.vector(task).iter() {
+                    cache[j.index()] = Self::cell_estimate(mode, baseline, state.accum.get(&j.0));
+                }
+            }
+            cache => *cache = None,
+        }
+    }
+
+    /// Adds (`sign = 1.0`) or withdraws (`sign = -1.0`) one observation's
+    /// contribution to the running accumulators. `O(nnz(p_task))`.
+    fn apply_delta(
+        index: &LinearityIndex,
+        mode: EstimationMode,
+        accum: &mut std::collections::BTreeMap<u32, AccumCell>,
+        task: TaskId,
+        q: f64,
+        sign: f64,
+    ) {
+        let info = (2.0 * q - 1.0).abs();
+        if mode == EstimationMode::Normalized && info == 0.0 {
+            // Mirrors the from-scratch path: uninformative observations
+            // (Equation-5 posterior exactly 0.5) contribute nothing, on
+            // the way in *and* on the way out.
+            return;
+        }
+        for (j, m) in index.vector(task).iter() {
+            let (ds1, dmass, dmass2) = match mode {
+                EstimationMode::Raw => (q * m, 0.0, 0.0),
+                EstimationMode::Centered => (q * m, m, 0.0),
+                EstimationMode::Normalized => {
+                    let wm = info * m;
+                    (q * wm, wm, wm * wm)
+                }
+            };
+            let retire = {
+                let cell = accum.entry(j.0).or_default();
+                cell.s1 += sign * ds1;
+                cell.mass += sign * dmass;
+                cell.mass2 += sign * dmass2;
+                if sign > 0.0 {
+                    cell.n += 1;
+                } else {
+                    cell.n -= 1;
+                }
+                cell.n == 0
+            };
+            if retire {
+                accum.remove(&j.0);
+            }
+        }
+    }
+
+    /// Turns one accumulator cell (or its absence) into the estimate at
+    /// that task under `mode` and `baseline`. Agrees with the from-scratch
+    /// formulas term for term.
+    fn cell_estimate(mode: EstimationMode, baseline: f64, cell: Option<&AccumCell>) -> f64 {
+        match (mode, cell) {
+            (EstimationMode::Raw, None) => 0.0,
+            (EstimationMode::Raw, Some(c)) => c.s1.clamp(0.0, 1.0),
+            (EstimationMode::Centered, None) => baseline.clamp(0.0, 1.0),
+            (EstimationMode::Centered, Some(c)) => {
+                // Σ (q_i − b)·M_ij recovered as s1 − b·mass.
+                (baseline + (c.s1 - baseline * c.mass)).clamp(0.0, 1.0)
+            }
+            (EstimationMode::Normalized, None) => baseline,
+            (EstimationMode::Normalized, Some(c)) => {
+                if c.mass <= 0.0 {
+                    return baseline;
+                }
+                let avg_dev = (c.s1 - baseline * c.mass) / c.mass;
+                let n_eff = c.mass * c.mass / c.mass2;
+                (baseline + avg_dev * n_eff / (n_eff + 1.0)).clamp(0.0, 1.0)
+            }
+        }
     }
 
     /// The worker's warm-up average accuracy, if she completed any
@@ -237,23 +392,30 @@ impl AccuracyEstimator {
     }
 
     /// The estimated accuracy vector `p^w` (dense, one entry per task),
-    /// recomputing and caching if observations changed.
+    /// rebuilding from the running accumulators and caching if stale.
     pub fn accuracies(&mut self, worker: WorkerId) -> &[f64] {
         self.register_worker(worker);
         let baseline = self.baseline(worker);
         let mode = self.mode;
-        let index = &self.index;
+        let num_tasks = self.index.num_tasks();
         let state = &mut self.workers[worker.index()];
         if state.cache.is_none() {
-            state.cache = Some(Self::compute(index, state, baseline, mode));
+            state.cache = Some(Self::compute_incremental(num_tasks, state, baseline, mode));
+            state.cache_baseline = baseline;
         }
         state.cache.as_deref().expect("cache just filled")
     }
 
-    /// Single-task estimate without borrowing the whole vector mutably
-    /// (recomputes through the cache when stale).
+    /// Single-task estimate: a cache read when warm, otherwise one
+    /// accumulator-cell lookup — never forces the dense rebuild.
     pub fn accuracy(&mut self, worker: WorkerId, task: TaskId) -> f64 {
-        self.accuracies(worker)[task.index()]
+        self.register_worker(worker);
+        let baseline = self.baseline(worker);
+        let state = &self.workers[worker.index()];
+        if let Some(cache) = &state.cache {
+            return cache[task.index()];
+        }
+        Self::cell_estimate(self.mode, baseline, state.accum.get(&task.0))
     }
 
     /// Read-only estimate for an already-cached worker; returns the
@@ -268,84 +430,42 @@ impl AccuracyEstimator {
     /// Estimates for an explicit candidate list only, without building or
     /// touching the dense per-worker cache.
     ///
-    /// Cost is `O(nnz(observed) · nnz(index vectors) + |tasks|)` —
-    /// independent of the total task count — which is what keeps
-    /// per-request assignment flat on million-task sets (Figure 10).
+    /// One accumulator-cell lookup per candidate — `O(|tasks| ·
+    /// log nnz(accum))`, independent of both the total task count *and*
+    /// the number of observations — which is what keeps per-request
+    /// assignment flat on million-task sets (Figure 10).
     pub fn accuracies_for(&mut self, worker: WorkerId, tasks: &[TaskId]) -> Vec<f64> {
         self.register_worker(worker);
         let baseline = self.baseline(worker);
         let mode = self.mode;
         let state = &self.workers[worker.index()];
-        // Slot lookup for candidate tasks.
-        let slots: std::collections::HashMap<u32, usize> = tasks
+        tasks
             .iter()
-            .enumerate()
-            .map(|(s, t)| (t.0, s))
-            .collect();
-        match mode {
-            EstimationMode::Raw => {
-                let mut out = vec![0.0; tasks.len()];
-                for (&i, &q) in state.observed.iter() {
-                    for (j, m) in self.index.vector(TaskId(i)).iter() {
-                        if let Some(&s) = slots.get(&j.0) {
-                            out[s] += q * m;
-                        }
-                    }
-                }
-                for v in &mut out {
-                    *v = v.clamp(0.0, 1.0);
-                }
-                out
-            }
-            EstimationMode::Centered => {
-                let mut out = vec![0.0; tasks.len()];
-                for (&i, &q) in state.observed.iter() {
-                    let d = q - baseline;
-                    for (j, m) in self.index.vector(TaskId(i)).iter() {
-                        if let Some(&s) = slots.get(&j.0) {
-                            out[s] += d * m;
-                        }
-                    }
-                }
-                for v in &mut out {
-                    *v = (baseline + *v).clamp(0.0, 1.0);
-                }
-                out
-            }
-            EstimationMode::Normalized => {
-                let mut dev = vec![0.0; tasks.len()];
-                let mut mass = vec![0.0; tasks.len()];
-                let mut mass2 = vec![0.0; tasks.len()];
-                for (&i, &q) in state.observed.iter() {
-                    let info = (2.0 * q - 1.0).abs();
-                    if info == 0.0 {
-                        continue;
-                    }
-                    let d = q - baseline;
-                    for (j, m) in self.index.vector(TaskId(i)).iter() {
-                        if let Some(&s) = slots.get(&j.0) {
-                            let wm = info * m;
-                            dev[s] += d * wm;
-                            mass[s] += wm;
-                            mass2[s] += wm * wm;
-                        }
-                    }
-                }
-                (0..tasks.len())
-                    .map(|s| {
-                        if mass[s] <= 0.0 {
-                            return baseline;
-                        }
-                        let avg_dev = dev[s] / mass[s];
-                        let n_eff = mass[s] * mass[s] / mass2[s];
-                        (baseline + avg_dev * n_eff / (n_eff + 1.0)).clamp(0.0, 1.0)
-                    })
-                    .collect()
-            }
-        }
+            .map(|t| Self::cell_estimate(mode, baseline, state.accum.get(&t.0)))
+            .collect()
     }
 
-    fn compute(
+    /// Dense estimate derived from the running accumulators: the default
+    /// value everywhere, overwritten per populated cell.
+    fn compute_incremental(
+        num_tasks: usize,
+        state: &WorkerState,
+        baseline: f64,
+        mode: EstimationMode,
+    ) -> Vec<f64> {
+        let mut out = vec![Self::cell_estimate(mode, baseline, None); num_tasks];
+        for (&j, cell) in &state.accum {
+            out[j as usize] = Self::cell_estimate(mode, baseline, Some(cell));
+        }
+        out
+    }
+
+    /// The reference path: recomputes the dense estimate from the raw
+    /// observations, ignoring the accumulators. Kept as the oracle the
+    /// incremental path is tested against (and as executable
+    /// documentation of the estimator's math).
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn compute_from_scratch(
         index: &LinearityIndex,
         state: &WorkerState,
         baseline: f64,
@@ -353,11 +473,7 @@ impl AccuracyEstimator {
     ) -> Vec<f64> {
         match mode {
             EstimationMode::Raw => {
-                let q: SparseTaskVector = state
-                    .observed
-                    .iter()
-                    .map(|(&t, &q)| (t, q))
-                    .collect();
+                let q: SparseTaskVector = state.observed.iter().map(|(&t, &q)| (t, q)).collect();
                 let mut p = index.estimate_dense(&q);
                 for v in &mut p {
                     *v = v.clamp(0.0, 1.0);
@@ -633,7 +749,10 @@ mod tests {
         let before = e.accuracy(w(0), t(1));
         e.record_qualification(w(0), t(1), Answer::NO, Answer::YES);
         let after = e.accuracy(w(0), t(1));
-        assert!(after < before, "fresh negative evidence must lower the estimate");
+        assert!(
+            after < before,
+            "fresh negative evidence must lower the estimate"
+        );
     }
 
     #[test]
@@ -666,6 +785,111 @@ mod tests {
                     "{mode:?} task {i}: sparse {s} vs dense {d}"
                 );
             }
+        }
+    }
+
+    /// Injects a fractional observation directly (bypassing Equation 5)
+    /// so replacement and info-weight edge cases are exercised exactly.
+    fn inject(e: &mut AccuracyEstimator, worker: WorkerId, task: TaskId, q: f64) {
+        e.register_worker(worker);
+        let mode = e.mode;
+        let baseline = e.baseline(worker);
+        let AccuracyEstimator {
+            graph,
+            index,
+            workers,
+            ..
+        } = e;
+        AccuracyEstimator::set_observed(
+            graph,
+            index,
+            mode,
+            baseline,
+            &mut workers[worker.index()],
+            task,
+            q,
+        );
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_in_every_mode() {
+        for mode in [
+            EstimationMode::Raw,
+            EstimationMode::Centered,
+            EstimationMode::Normalized,
+        ] {
+            let mut e = estimator(mode);
+            // Qualifications (baseline shifts), fractional consensus
+            // observations, replacements — including replacing an
+            // informative observation with an uninformative 0.5 and
+            // back, the hardest case for delta bookkeeping.
+            e.record_qualification(w(0), t(0), Answer::YES, Answer::YES);
+            e.record_qualification(w(0), t(3), Answer::NO, Answer::YES);
+            inject(&mut e, w(0), t(1), 0.85);
+            inject(&mut e, w(0), t(4), 0.3);
+            inject(&mut e, w(0), t(1), 0.6); // replacement
+            inject(&mut e, w(0), t(4), 0.5); // informative → uninformative
+            inject(&mut e, w(0), t(5), 0.5); // starts uninformative
+            inject(&mut e, w(0), t(5), 0.95); // uninformative → informative
+            e.record_qualification(w(0), t(2), Answer::YES, Answer::YES);
+            let incremental = e.accuracies(w(0)).to_vec();
+            let baseline = e.baseline(w(0));
+            let scratch =
+                AccuracyEstimator::compute_from_scratch(&e.index, &e.workers[0], baseline, mode);
+            for (j, (inc, scr)) in incremental.iter().zip(&scratch).enumerate() {
+                assert!(
+                    (inc - scr).abs() < 1e-9,
+                    "{mode:?} task {j}: incremental {inc} vs from-scratch {scr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_patch_matches_full_rebuild_in_every_mode() {
+        for mode in [
+            EstimationMode::Raw,
+            EstimationMode::Centered,
+            EstimationMode::Normalized,
+        ] {
+            let mut e = estimator(mode);
+            e.record_qualification(w(0), t(0), Answer::YES, Answer::YES);
+            // Warm the dense cache, then record baseline-preserving
+            // observations so `set_observed` takes the in-place patch
+            // path rather than dropping the cache.
+            let _ = e.accuracies(w(0));
+            inject(&mut e, w(0), t(4), 0.9);
+            inject(&mut e, w(0), t(4), 0.2); // replacement through the patch
+            assert!(
+                e.workers[0].cache.is_some(),
+                "{mode:?}: patch path must keep the cache alive"
+            );
+            let patched = e.accuracies(w(0)).to_vec();
+            let baseline = e.baseline(w(0));
+            let rebuilt = AccuracyEstimator::compute_incremental(
+                e.num_tasks(),
+                &e.workers[0],
+                baseline,
+                mode,
+            );
+            assert_eq!(patched, rebuilt, "{mode:?}: patched cache must be exact");
+        }
+    }
+
+    #[test]
+    fn withdrawing_last_observation_retires_accumulator_cells() {
+        let mut e = estimator(EstimationMode::Normalized);
+        inject(&mut e, w(0), t(1), 0.9);
+        assert!(!e.workers[0].accum.is_empty());
+        inject(&mut e, w(0), t(1), 0.5); // info = 0: sole contributor leaves
+        assert!(
+            e.workers[0].accum.is_empty(),
+            "cells must retire exactly, not decay to fp residue"
+        );
+        // And the estimate falls back to the baseline everywhere.
+        let baseline = e.baseline(w(0));
+        for &v in e.accuracies(w(0)) {
+            assert_eq!(v, baseline);
         }
     }
 

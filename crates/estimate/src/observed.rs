@@ -91,8 +91,7 @@ mod tests {
     #[test]
     fn matches_paper_example_formula() {
         let (p1, p5, p2) = (0.8, 0.7, 0.6);
-        let want =
-            p1 * p5 * (1.0 - p2) / (p1 * p5 * (1.0 - p2) + (1.0 - p1) * (1.0 - p5) * p2);
+        let want = p1 * p5 * (1.0 - p2) / (p1 * p5 * (1.0 - p2) + (1.0 - p1) * (1.0 - p5) * p2);
         let got = observed_accuracy(true, &[p1, p5], &[p2]);
         assert!((got - want).abs() < 1e-12);
         // The dissenter w2's observed accuracy is the complement share.

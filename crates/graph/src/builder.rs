@@ -12,6 +12,7 @@ use icrowd_core::task::{TaskId, TaskSet};
 use icrowd_text::TaskSimilarity;
 
 use crate::csr::SimilarityGraph;
+use crate::parallel::par_map_indexed;
 
 /// Builder for [`SimilarityGraph`]s.
 ///
@@ -33,6 +34,7 @@ use crate::csr::SimilarityGraph;
 pub struct GraphBuilder {
     threshold: f64,
     max_neighbors: Option<usize>,
+    threads: usize,
 }
 
 impl GraphBuilder {
@@ -48,6 +50,7 @@ impl GraphBuilder {
         Self {
             threshold,
             max_neighbors: None,
+            threads: 0,
         }
     }
 
@@ -62,6 +65,15 @@ impl GraphBuilder {
         self
     }
 
+    /// Sets the worker-thread count for the pairwise sweep in
+    /// [`Self::build`]: `0` (the default) uses available hardware
+    /// parallelism, `1` forces the serial path. The produced graph is
+    /// identical for every value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The configured similarity threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
@@ -71,10 +83,22 @@ impl GraphBuilder {
     ///
     /// Pairs with similarity `< max(threshold, epsilon)` are dropped
     /// (zero-similarity pairs are never edges even at threshold 0).
-    pub fn build<M: TaskSimilarity + ?Sized>(&self, tasks: &TaskSet, metric: &M) -> SimilarityGraph {
+    ///
+    /// The `O(|T|^2)` sweep is parallelized row-wise (row `i` evaluates
+    /// pairs `(i, j)` for `j > i`) into per-row edge buffers that are
+    /// concatenated in row order, so the edge list — and therefore the
+    /// graph — is identical to the serial sweep for any thread count
+    /// (see [`Self::with_threads`]). Metrics must be `Sync`; every
+    /// implementation precomputes immutable corpus state, so shared reads
+    /// are free.
+    pub fn build<M: TaskSimilarity + Sync + ?Sized>(
+        &self,
+        tasks: &TaskSet,
+        metric: &M,
+    ) -> SimilarityGraph {
         let n = tasks.len();
-        let mut edges: Vec<(TaskId, TaskId, f64)> = Vec::new();
-        for i in 0..n {
+        let rows = par_map_indexed(n, self.threads, |i| {
+            let mut row: Vec<(TaskId, TaskId, f64)> = Vec::new();
             for j in (i + 1)..n {
                 let (a, b) = (TaskId(i as u32), TaskId(j as u32));
                 let s = metric.similarity(a, b);
@@ -85,9 +109,15 @@ impl GraphBuilder {
                 );
                 debug_assert!((0.0..=1.0 + 1e-12).contains(&s), "similarity out of range");
                 if s >= self.threshold && s > 0.0 {
-                    edges.push((a, b, s.min(1.0)));
+                    row.push((a, b, s.min(1.0)));
                 }
             }
+            row
+        });
+        let mut edges: Vec<(TaskId, TaskId, f64)> =
+            Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        for row in rows {
+            edges.extend(row);
         }
         if let Some(m) = self.max_neighbors {
             edges = cap_neighbors(n, edges, m);
@@ -183,7 +213,10 @@ mod tests {
         let metric = JaccardSimilarity::new(&tasks, &Tokenizer::keeping_stopwords());
         let g = GraphBuilder::new(0.5).build(&tasks, &metric);
         let s27 = g.similarity(t(1), t(6)); // t2, t7 in paper numbering
-        assert!((s27 - 4.0 / 7.0).abs() < 1e-12, "t2-t7 edge is 4/7, got {s27}");
+        assert!(
+            (s27 - 4.0 / 7.0).abs() < 1e-12,
+            "t2-t7 edge is 4/7, got {s27}"
+        );
         // iPhone tasks t1 and t6 are connected; iPhone t1 and iPod t8 are not.
         assert!(g.similarity(t(0), t(5)) >= 0.5);
         assert_eq!(g.similarity(t(0), t(7)), 0.0);
@@ -204,9 +237,7 @@ mod tests {
     #[test]
     fn neighbor_cap_limits_strongest_edges() {
         // Star: node 0 connected to 1..=4 with rising weights.
-        let edges: Vec<_> = (1..5u32)
-            .map(|i| (t(0), t(i), 0.2 * i as f64))
-            .collect();
+        let edges: Vec<_> = (1..5u32).map(|i| (t(0), t(i), 0.2 * i as f64)).collect();
         let g = GraphBuilder::new(0.0)
             .with_max_neighbors(2)
             .build_from_edges(5, edges);
@@ -235,10 +266,49 @@ mod tests {
 
     #[test]
     fn build_from_edges_applies_threshold() {
-        let g = GraphBuilder::new(0.5)
-            .build_from_edges(3, vec![(t(0), t(1), 0.4), (t(1), t(2), 0.6)]);
+        let g =
+            GraphBuilder::new(0.5).build_from_edges(3, vec![(t(0), t(1), 0.4), (t(1), t(2), 0.6)]);
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.similarity(t(1), t(2)), 0.6);
+    }
+
+    #[test]
+    fn parallel_pairwise_sweep_matches_serial() {
+        let tasks = table1_tasks();
+        let metric = JaccardSimilarity::new(&tasks, &Tokenizer::keeping_stopwords());
+        let serial = GraphBuilder::new(0.3)
+            .with_threads(1)
+            .build(&tasks, &metric);
+        for threads in [0usize, 2, 3, 8] {
+            let parallel = GraphBuilder::new(0.3)
+                .with_threads(threads)
+                .build(&tasks, &metric);
+            assert_eq!(
+                parallel.num_edges(),
+                serial.num_edges(),
+                "threads={threads}"
+            );
+            for i in 0..tasks.len() as u32 {
+                for j in 0..tasks.len() as u32 {
+                    assert_eq!(
+                        parallel.similarity(t(i), t(j)).to_bits(),
+                        serial.similarity(t(i), t(j)).to_bits(),
+                        "edge ({i},{j}) differs at threads={threads}"
+                    );
+                }
+            }
+        }
+        // The neighbor cap composes with the parallel sweep: tie-breaks
+        // key on edge index, which row-ordered concatenation preserves.
+        let capped_serial = GraphBuilder::new(0.1)
+            .with_max_neighbors(2)
+            .with_threads(1)
+            .build(&tasks, &metric);
+        let capped_parallel = GraphBuilder::new(0.1)
+            .with_max_neighbors(2)
+            .with_threads(4)
+            .build(&tasks, &metric);
+        assert_eq!(capped_parallel.num_edges(), capped_serial.num_edges());
     }
 
     #[test]

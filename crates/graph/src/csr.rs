@@ -347,10 +347,7 @@ mod tests {
 
     #[test]
     fn components_found() {
-        let g = SimilarityGraph::from_edges(
-            5,
-            &[(t(0), t(1), 0.5), (t(2), t(3), 0.5)],
-        );
+        let g = SimilarityGraph::from_edges(5, &[(t(0), t(1), 0.5), (t(2), t(3), 0.5)]);
         let comps = g.components();
         assert_eq!(comps.len(), 3);
         assert!(comps.contains(&vec![t(0), t(1)]));

@@ -18,6 +18,7 @@ use icrowd_core::config::PprConfig;
 use icrowd_core::task::TaskId;
 
 use crate::csr::SimilarityGraph;
+use crate::parallel::par_map_indexed;
 use crate::ppr::sparse_ppr;
 use crate::sparsevec::SparseTaskVector;
 
@@ -34,19 +35,23 @@ impl LinearityIndex {
     ///
     /// `config.index_epsilon` controls sparsification of the stored
     /// vectors (0 keeps everything the solver produced).
+    ///
+    /// The per-task solves are independent, so the build fans out over
+    /// `config.threads` scoped threads (`0` = hardware parallelism, `1` =
+    /// serial). The result is bit-identical for every thread count: each
+    /// vector is solved from the same immutable graph and stored at its
+    /// task's slot regardless of which thread claimed it.
     pub fn build(graph: &SimilarityGraph, alpha: f64, config: &PprConfig) -> Self {
-        let vectors = (0..graph.num_tasks())
-            .map(|i| {
-                let q = SparseTaskVector::unit(TaskId(i as u32));
-                let mut p = sparse_ppr(graph, &q, alpha, config.index_epsilon, config);
-                p.truncate(config.index_epsilon);
-                // The solver's working buffers carry ~degree^2 capacity
-                // slack; keeping it across |T| stored vectors multiplies
-                // index memory ~100x on capped large graphs.
-                p.shrink_to_fit();
-                p
-            })
-            .collect();
+        let vectors = par_map_indexed(graph.num_tasks(), config.threads, |i| {
+            let q = SparseTaskVector::unit(TaskId(i as u32));
+            let mut p = sparse_ppr(graph, &q, alpha, config.index_epsilon, config);
+            p.truncate(config.index_epsilon);
+            // The solver's working buffers carry ~degree^2 capacity
+            // slack; keeping it across |T| stored vectors multiplies
+            // index memory ~100x on capped large graphs.
+            p.shrink_to_fit();
+            p
+        });
         Self { alpha, vectors }
     }
 
@@ -98,18 +103,70 @@ impl LinearityIndex {
     /// the set of tasks receiving non-zero mass from `Σ_{t in T^q} p_t`,
     /// as a sorted id vector.
     pub fn influence_support(&self, tasks: &[TaskId]) -> Vec<u32> {
-        let mut ids: Vec<u32> = tasks
-            .iter()
-            .flat_map(|t| self.vectors[t.index()].support())
-            .collect();
+        let mut scratch = InfluenceScratch::new();
+        let mut ids = self.influence_support_with(tasks, &mut scratch).to_vec();
         ids.sort_unstable();
-        ids.dedup();
         ids
+    }
+
+    /// Scratch-reusing variant of [`Self::influence_support`]: marks
+    /// reached tasks in a visited bitmap instead of collecting, sorting
+    /// and deduplicating, so repeated calls (the per-request candidate
+    /// pool, influence sweeps over many sets) allocate nothing after the
+    /// first. Returns the distinct reached ids in **discovery order**,
+    /// not sorted; callers needing sorted output use
+    /// [`Self::influence_support`].
+    pub fn influence_support_with<'s>(
+        &self,
+        tasks: &[TaskId],
+        scratch: &'s mut InfluenceScratch,
+    ) -> &'s [u32] {
+        scratch.touched.clear();
+        if scratch.visited.len() < self.vectors.len() {
+            scratch.visited.resize(self.vectors.len(), false);
+        }
+        for t in tasks {
+            for id in self.vectors[t.index()].support() {
+                let seen = &mut scratch.visited[id as usize];
+                if !*seen {
+                    *seen = true;
+                    scratch.touched.push(id);
+                }
+            }
+        }
+        // Un-mark via the touched list so clearing costs O(|support|),
+        // not O(|T|), keeping the scratch ready for the next call.
+        for &id in &scratch.touched {
+            scratch.visited[id as usize] = false;
+        }
+        &scratch.touched
     }
 
     /// `INF(T^q)`: the size of the influence support (Definition 5).
     pub fn influence(&self, tasks: &[TaskId]) -> usize {
-        self.influence_support(tasks).len()
+        let mut scratch = InfluenceScratch::new();
+        self.influence_with(tasks, &mut scratch)
+    }
+
+    /// Scratch-reusing variant of [`Self::influence`] for hot loops.
+    pub fn influence_with(&self, tasks: &[TaskId], scratch: &mut InfluenceScratch) -> usize {
+        self.influence_support_with(tasks, scratch).len()
+    }
+}
+
+/// Reusable working memory for influence queries
+/// ([`LinearityIndex::influence_support_with`]): a visited bitmap plus
+/// the list of marked ids used to clear it cheaply between calls.
+#[derive(Debug, Clone, Default)]
+pub struct InfluenceScratch {
+    visited: Vec<bool>,
+    touched: Vec<u32>,
+}
+
+impl InfluenceScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -253,5 +310,88 @@ mod tests {
         let idx = LinearityIndex::build(&g, 1.0, &PprConfig::default());
         let est = idx.estimate_dense(&SparseTaskVector::new());
         assert!(est.iter().all(|&v| v == 0.0));
+    }
+
+    /// A messier graph than the clique fixtures: ring + chords + hubs, so
+    /// per-task PPR solves have varied cost and support.
+    fn lumpy_graph(n: u32) -> SimilarityGraph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((t(i), t((i + 1) % n), 0.5 + 0.4 * f64::from(i % 5) / 5.0));
+            if i % 3 == 0 {
+                edges.push((t(i), t((i + 7) % n), 0.6));
+            }
+            if i % 11 == 0 {
+                // Hubs: connect to a spread of nodes.
+                for k in 1..6 {
+                    edges.push((t(i), t((i + k * 13) % n), 0.3 + 0.1 * f64::from(k)));
+                }
+            }
+        }
+        edges.retain(|(a, b, _)| a != b);
+        SimilarityGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let g = lumpy_graph(120);
+        let base = PprConfig {
+            index_epsilon: 1e-4,
+            ..Default::default()
+        };
+        let serial = LinearityIndex::build(&g, 1.0, &PprConfig { threads: 1, ..base });
+        for threads in [0usize, 2, 3, 4, 8] {
+            let parallel = LinearityIndex::build(&g, 1.0, &PprConfig { threads, ..base });
+            assert_eq!(parallel.num_tasks(), serial.num_tasks());
+            for i in 0..serial.num_tasks() as u32 {
+                let (a, b) = (serial.vector(t(i)), parallel.vector(t(i)));
+                assert_eq!(a.nnz(), b.nnz(), "task {i}, threads={threads}");
+                for ((ia, va), (ib, vb)) in a.iter().zip(b.iter()) {
+                    assert_eq!(ia, ib, "task {i}, threads={threads}");
+                    assert_eq!(
+                        va.to_bits(),
+                        vb.to_bits(),
+                        "task {i}, threads={threads}: {va} vs {vb}"
+                    );
+                }
+                // The capacity regression guarantee holds on the parallel
+                // path too.
+                assert_eq!(b.capacity(), b.nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_influence_matches_allocating_path() {
+        let g = lumpy_graph(60);
+        let idx = LinearityIndex::build(
+            &g,
+            1.0,
+            &PprConfig {
+                index_epsilon: 1e-3,
+                ..Default::default()
+            },
+        );
+        let mut scratch = InfluenceScratch::new();
+        let sets: Vec<Vec<TaskId>> = vec![
+            vec![],
+            vec![t(0)],
+            vec![t(0), t(1), t(2)],
+            vec![t(5), t(33), t(59)],
+            (0..60).map(t).collect(),
+        ];
+        for set in &sets {
+            let sorted = idx.influence_support(set);
+            let mut via_scratch = idx.influence_support_with(set, &mut scratch).to_vec();
+            via_scratch.sort_unstable();
+            assert_eq!(sorted, via_scratch);
+            assert_eq!(idx.influence(set), idx.influence_with(set, &mut scratch));
+        }
+        // Scratch state fully resets between calls: re-running the first
+        // non-empty set gives identical results after a large query.
+        let first = idx.influence_support_with(&[t(0)], &mut scratch).to_vec();
+        let _ = idx.influence_support_with(&sets[4], &mut scratch);
+        let again = idx.influence_support_with(&[t(0)], &mut scratch).to_vec();
+        assert_eq!(first, again);
     }
 }

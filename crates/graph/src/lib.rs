@@ -17,6 +17,9 @@
 //!   vectors `p_{t_i}`, making online estimation a sparse weighted sum.
 //! * [`sparsevec`] — the sparse task-indexed vectors shared by `ppr` and
 //!   `index`.
+//! * [`parallel`] — deterministic scoped-thread helpers used to
+//!   parallelize offline construction (index build, pairwise similarity
+//!   sweep) with bit-identical output for any thread count.
 
 #![warn(missing_docs)]
 #![warn(clippy::dbg_macro)]
@@ -24,11 +27,13 @@
 pub mod builder;
 pub mod csr;
 pub mod index;
+pub mod parallel;
 pub mod ppr;
 pub mod sparsevec;
 
 pub use builder::GraphBuilder;
 pub use csr::SimilarityGraph;
-pub use index::LinearityIndex;
+pub use index::{InfluenceScratch, LinearityIndex};
+pub use parallel::{par_map_indexed, resolve_threads};
 pub use ppr::{power_iteration, sparse_ppr};
 pub use sparsevec::SparseTaskVector;

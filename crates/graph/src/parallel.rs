@@ -1,0 +1,106 @@
+//! Deterministic data-parallel helpers for offline graph construction.
+//!
+//! Offline index construction is embarrassingly parallel — every task's
+//! PPR vector (and every row of the pairwise similarity sweep) is an
+//! independent computation. These helpers parallelize such loops with
+//! scoped threads while keeping the output **bit-identical** to the
+//! serial loop for any thread count: work items are claimed from an
+//! atomic cursor, each item `i` is computed by exactly one thread from
+//! the same inputs the serial loop would use, and results land in a
+//! pre-sized slot array read back in index order. Only the *schedule* is
+//! nondeterministic; the output never is.
+//!
+//! No work-stealing or chunking is attempted: items (full PPR solves,
+//! `O(|T|)` similarity rows) are large enough that a single shared
+//! `fetch_add` per item is negligible and naturally load-balances the
+//! skewed per-item costs of power-law graphs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Resolves a thread-count knob: `0` means "use available parallelism",
+/// anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped threads (`0` = auto),
+/// returning results in index order.
+///
+/// Bit-identical to `(0..n).map(f).collect()` for any thread count as
+/// long as `f(i)` depends only on `i` and shared immutable state. The
+/// serial path is taken outright for `threads == 1` or trivially small
+/// `n`, so single-threaded callers pay no synchronization cost.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let filled = slots[i].set(f(i)).is_ok();
+                debug_assert!(filled, "slot {i} claimed twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_every_thread_count() {
+        let serial: Vec<u64> = (0..257).map(|i| (i as u64).wrapping_mul(0x9e37)).collect();
+        for threads in [0, 1, 2, 3, 4, 8, 300] {
+            let par = par_map_indexed(257, threads, |i| (i as u64).wrapping_mul(0x9e37));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_ranges() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn resolve_zero_uses_hardware_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn heavy_items_produce_ordered_output() {
+        // Items with deliberately skewed cost still land in order.
+        let out = par_map_indexed(64, 4, |i| {
+            let mut acc = i as u64;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+}

@@ -83,10 +83,14 @@ pub fn sparse_ppr(
     let tolerance = config.tolerance.max(truncate_eps * 0.1);
 
     let mut p = q.clone();
+    // Scratch buffers reused across sweeps: the index build calls this
+    // once per task, and per-sweep allocation of the pair list dominated
+    // the solver's allocator traffic.
+    let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(p.nnz().saturating_mul(4).max(q.nnz()));
+    let mut next = SparseTaskVector::new();
     for _ in 0..config.max_iterations {
         // next = damping * (p S') + restart * q, built sparsely.
-        let mut pairs: Vec<(u32, f64)> =
-            Vec::with_capacity(p.nnz().saturating_mul(4).max(q.nnz()));
+        pairs.clear();
         for (i, v) in p.iter() {
             let dv = damping * v;
             for (j, w) in graph.normalized_neighbors(i) {
@@ -96,12 +100,12 @@ pub fn sparse_ppr(
         for (i, v) in q.iter() {
             pairs.push((i.0, restart * v));
         }
-        let mut next = SparseTaskVector::from_pairs(pairs);
+        next.assign_from_pairs(&mut pairs);
         next.truncate(truncate_eps);
 
         // L1 distance between iterates (merge walk).
         let delta = l1_distance(&p, &next);
-        p = next;
+        std::mem::swap(&mut p, &mut next);
         if delta < tolerance {
             break;
         }
@@ -158,7 +162,12 @@ pub fn closed_form_oracle(graph: &SimilarityGraph, q: &[f64], alpha: f64) -> Vec
     // Gaussian elimination with partial pivoting.
     for col in 0..n {
         let pivot = (col..n)
-            .max_by(|&x, &y| a[x * n + col].abs().partial_cmp(&a[y * n + col].abs()).unwrap())
+            .max_by(|&x, &y| {
+                a[x * n + col]
+                    .abs()
+                    .partial_cmp(&a[y * n + col].abs())
+                    .unwrap()
+            })
             .unwrap();
         if a[pivot * n + col].abs() < 1e-14 {
             continue;
@@ -270,7 +279,10 @@ mod tests {
         let g = chain();
         let p = power_iteration(&g, &[1.0, 0.0, 0.0, 0.0, 0.0], 1.0, &PprConfig::default());
         assert!(p[0] > p[1], "source dominates");
-        assert!(p[1] > p[2] && p[2] > p[3] && p[3] > p[4], "mass decays: {p:?}");
+        assert!(
+            p[1] > p[2] && p[2] > p[3] && p[3] > p[4],
+            "mass decays: {p:?}"
+        );
         assert!(p[4] > 0.0, "everything connected receives some mass");
     }
 

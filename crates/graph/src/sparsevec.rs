@@ -28,16 +28,26 @@ impl SparseTaskVector {
     /// Builds from unsorted `(index, value)` pairs, merging duplicates by
     /// addition and dropping exact zeros.
     pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        let mut out = Self::new();
+        out.assign_from_pairs(&mut pairs);
+        out
+    }
+
+    /// Rebuilds `self` from unsorted `(index, value)` pairs — the
+    /// allocation-free counterpart of [`Self::from_pairs`]. Sorts `pairs`
+    /// in place (it remains usable as a scratch buffer afterwards) and
+    /// reuses `self`'s existing capacity; identical merge/drop semantics.
+    pub fn assign_from_pairs(&mut self, pairs: &mut [(u32, f64)]) {
         pairs.sort_unstable_by_key(|&(i, _)| i);
-        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
-        for (i, v) in pairs {
-            match entries.last_mut() {
+        self.entries.clear();
+        self.entries.reserve(pairs.len());
+        for &(i, v) in pairs.iter() {
+            match self.entries.last_mut() {
                 Some((li, lv)) if *li == i => *lv += v,
-                _ => entries.push((i, v)),
+                _ => self.entries.push((i, v)),
             }
         }
-        entries.retain(|&(_, v)| v != 0.0);
-        Self { entries }
+        self.entries.retain(|&(_, v)| v != 0.0);
     }
 
     /// Builds from a dense slice, keeping entries with `|v| > epsilon`.
@@ -171,6 +181,19 @@ mod tests {
         let v = SparseTaskVector::from_pairs(vec![(5, 1.0), (2, 0.5), (5, 1.5), (7, 0.0)]);
         assert_eq!(v.entries(), &[(2, 0.5), (5, 2.5)]);
         assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn assign_from_pairs_reuses_buffers() {
+        let mut v = SparseTaskVector::from_pairs(vec![(9, 1.0), (1, 1.0)]);
+        let cap_before = v.capacity();
+        let mut scratch = vec![(5u32, 1.0), (2, 0.5), (5, 1.5), (7, 0.0)];
+        v.assign_from_pairs(&mut scratch);
+        assert_eq!(v.entries(), &[(2, 0.5), (5, 2.5)]);
+        assert!(v.capacity() >= cap_before, "capacity is retained");
+        // The scratch buffer survives (sorted) for the caller to clear
+        // and refill on the next sweep.
+        assert_eq!(scratch.len(), 4);
     }
 
     #[test]

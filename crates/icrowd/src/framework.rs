@@ -40,7 +40,7 @@ use icrowd_core::task::{TaskId, TaskSet};
 use icrowd_core::voting::ConsensusState;
 use icrowd_core::worker::{ActivityTracker, Tick, WorkerId};
 use icrowd_estimate::{AccuracyEstimator, EstimationMode};
-use icrowd_graph::SimilarityGraph;
+use icrowd_graph::{InfluenceScratch, SimilarityGraph};
 use icrowd_platform::market::ExternalQuestionServer;
 use icrowd_text::{CosineTfIdf, TaskSimilarity, Tokenizer};
 
@@ -127,8 +127,9 @@ impl ICrowdBuilder {
     }
 
     /// Builds the graph from an explicit similarity metric.
-    pub fn metric<M: TaskSimilarity>(mut self, metric: &M) -> Self {
-        let mut builder = icrowd_graph::GraphBuilder::new(self.config.similarity_threshold);
+    pub fn metric<M: TaskSimilarity + Sync>(mut self, metric: &M) -> Self {
+        let mut builder = icrowd_graph::GraphBuilder::new(self.config.similarity_threshold)
+            .with_threads(self.config.ppr.threads);
         if let Some(m) = self.config.max_neighbors {
             builder = builder.with_max_neighbors(m);
         }
@@ -162,7 +163,8 @@ impl ICrowdBuilder {
         self.config.validate().expect("invalid configuration");
         let graph = self.graph.unwrap_or_else(|| {
             let metric = CosineTfIdf::new(&self.tasks, &Tokenizer::new());
-            let mut builder = icrowd_graph::GraphBuilder::new(self.config.similarity_threshold);
+            let mut builder = icrowd_graph::GraphBuilder::new(self.config.similarity_threshold)
+                .with_threads(self.config.ppr.threads);
             if let Some(m) = self.config.max_neighbors {
                 builder = builder.with_max_neighbors(m);
             }
@@ -201,6 +203,7 @@ impl ICrowdBuilder {
             inflight_workers: Vec::new(),
             open,
             open_cursor: 0,
+            influence_scratch: InfluenceScratch::new(),
             regular_assignments: Vec::new(),
             test_assignments: 0,
             early_stops: 0,
@@ -227,6 +230,9 @@ pub struct ICrowd {
     /// Round-robin cursor into `open` for candidate sampling.
     open_cursor: u32,
     candidate_limit: usize,
+    /// Reusable visited-bitmap scratch for influence-support walks in
+    /// candidate assembly (one walk per active worker per request).
+    influence_scratch: InfluenceScratch,
     /// Regular (non-warmup) assignments per worker — Figure 15's metric.
     regular_assignments: Vec<u32>,
     /// Step-3 performance-test assignments issued.
@@ -411,7 +417,11 @@ impl ICrowd {
             for &w in active {
                 if let Some(observed) = self.estimator.observed(w) {
                     let seeds: Vec<TaskId> = observed.keys().map(|&t| TaskId(t)).collect();
-                    for t in self.estimator.index().influence_support(&seeds) {
+                    let support = self
+                        .estimator
+                        .index()
+                        .influence_support_with(&seeds, &mut self.influence_scratch);
+                    for &t in support {
                         if self.open.contains(&t) {
                             cand.insert(t);
                         }
@@ -503,10 +513,7 @@ impl ICrowd {
         // Step 2: greedy optimal assignment; serve the requester if some
         // winning set contains her.
         let scheme = greedy_assign(&sets);
-        if let Some(assignment) = scheme
-            .iter()
-            .find(|a| a.worker_ids().any(|w| w == worker))
-        {
+        if let Some(assignment) = scheme.iter().find(|a| a.worker_ids().any(|w| w == worker)) {
             return Some(assignment.task);
         }
 
@@ -602,11 +609,7 @@ impl ExternalQuestionServer for ICrowd {
     fn request_task(&mut self, external: &str, now: Tick) -> Option<TaskId> {
         let worker = self.worker_id(external, now);
         self.activity.touch(worker, now);
-        if self
-            .activity
-            .record(worker)
-            .is_some_and(|r| r.rejected)
-        {
+        if self.activity.record(worker).is_some_and(|r| r.rejected) {
             self.declined_requests += 1;
             return None;
         }
@@ -925,7 +928,11 @@ mod tests {
         let mut srv = setup(AssignStrategy::Adapt, 1);
         let q = srv.warmup().qualification_tasks()[0];
         // Build records: EXPERT aces the qual; DUD1/DUD2 flunk it.
-        for (name, ans) in [("EXPERT", Answer::YES), ("DUD1", Answer::NO), ("DUD2", Answer::NO)] {
+        for (name, ans) in [
+            ("EXPERT", Answer::YES),
+            ("DUD1", Answer::NO),
+            ("DUD2", Answer::NO),
+        ] {
             let t0 = srv.request_task(name, Tick(0)).unwrap();
             assert_eq!(t0, q);
             srv.submit_answer(name, t0, ans, Tick(0));

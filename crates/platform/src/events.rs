@@ -115,7 +115,9 @@ impl EventLog {
     /// Appends an event.
     pub fn push(&mut self, event: MarketEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.at() <= event.at()),
+            self.events
+                .last()
+                .is_none_or(|last| last.at() <= event.at()),
             "events must arrive in tick order"
         );
         self.events.push(event);
@@ -165,7 +167,8 @@ mod tests {
 
     #[test]
     fn accessors_cover_all_variants() {
-        let events = [MarketEvent::HitAccepted {
+        let events = [
+            MarketEvent::HitAccepted {
                 at: Tick(1),
                 worker: "A".into(),
                 hit: HitId(0),
@@ -195,7 +198,8 @@ mod tests {
                 at: Tick(6),
                 worker: "B".into(),
                 hit: HitId(1),
-            }];
+            },
+        ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.at(), Tick(i as u64 + 1));
         }

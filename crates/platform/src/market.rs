@@ -345,8 +345,7 @@ mod tests {
         fn request_task(&mut self, worker: &str, _now: Tick) -> Option<TaskId> {
             (0..self.counts.len())
                 .find(|&i| {
-                    self.counts[i] < self.k
-                        && !self.answered_by[i].iter().any(|w| w == worker)
+                    self.counts[i] < self.k && !self.answered_by[i].iter().any(|w| w == worker)
                 })
                 .map(|i| TaskId(i as u32))
         }

@@ -26,8 +26,8 @@ use icrowd_platform::market::{
     ExternalQuestionServer, MarketConfig, Marketplace, WorkerBehavior, WorkerScript,
 };
 use icrowd_text::{
-    CosineTfIdf, EditDistanceSimilarity, JaccardSimilarity, LdaConfig, TaskSimilarity,
-    TopicCosine, Tokenizer,
+    CosineTfIdf, EditDistanceSimilarity, JaccardSimilarity, LdaConfig, TaskSimilarity, Tokenizer,
+    TopicCosine,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -234,7 +234,8 @@ impl CampaignResult {
 /// Builds the similarity graph a campaign will use.
 pub fn build_graph(dataset: &Dataset, config: &CampaignConfig) -> SimilarityGraph {
     let metric = config.metric.build(&dataset.tasks, config.seed);
-    let mut builder = GraphBuilder::new(config.icrowd.similarity_threshold);
+    let mut builder = GraphBuilder::new(config.icrowd.similarity_threshold)
+        .with_threads(config.icrowd.ppr.threads);
     if let Some(m) = config.icrowd.max_neighbors {
         builder = builder.with_max_neighbors(m);
     }
@@ -302,8 +303,8 @@ pub fn run_campaign_with(
 ) -> CampaignResult {
     let start = Instant::now();
     let workers = dataset.spawn_workers(config.seed);
-    let total_answers = dataset.tasks.len() * config.icrowd.assignment_size
-        + dataset.workers.len() * gold.len();
+    let total_answers =
+        dataset.tasks.len() * config.icrowd.assignment_size + dataset.workers.len() * gold.len();
     let scripts = worker_scripts(config, workers.len(), total_answers);
     let behaviors: Vec<(WorkerScript, Box<dyn WorkerBehavior>)> = workers
         .into_iter()
@@ -522,12 +523,7 @@ struct RandomServer {
 }
 
 impl RandomServer {
-    fn new(
-        tasks: TaskSet,
-        config: &CampaignConfig,
-        gold: Vec<TaskId>,
-        mode: BaselineMode,
-    ) -> Self {
+    fn new(tasks: TaskSet, config: &CampaignConfig, gold: Vec<TaskId>, mode: BaselineMode) -> Self {
         let n = tasks.len();
         let gold_set: HashSet<TaskId> = gold.iter().copied().collect();
         let remaining = n - gold_set.len();
@@ -627,10 +623,11 @@ impl ExternalQuestionServer for RandomServer {
                 self.in_flight[w] = Some(task);
                 return Some(task);
             }
-            if self
-                .tracker
-                .is_eliminated(WorkerId(w as u32), self.reject_threshold, self.reject_after as u32)
-            {
+            if self.tracker.is_eliminated(
+                WorkerId(w as u32),
+                self.reject_threshold,
+                self.reject_after as u32,
+            ) {
                 return None;
             }
         }
@@ -639,8 +636,7 @@ impl ExternalQuestionServer for RandomServer {
             .map(TaskId)
             .filter(|t| {
                 !self.gold_set.contains(t)
-                    && self.votes[t.index()].len()
-                        + usize::from(self.in_flight.contains(&Some(*t)))
+                    && self.votes[t.index()].len() + usize::from(self.in_flight.contains(&Some(*t)))
                         < self.k
                     && !self.answered[w].contains(t)
                     && !self.votes[t.index()].iter().any(|v| v.worker.index() == w)

@@ -15,27 +15,95 @@ use crate::profiles::{generate_profiles, item_compare_anchors, DiversityRegime};
 pub const ITEM_COMPARE_DOMAINS: [&str; 4] = ["Food", "NBA", "Auto", "Country"];
 
 const FOOD_VOCAB: &[&str] = &[
-    "chocolate", "honey", "calories", "butter", "cheese", "yogurt", "avocado", "almond", "pasta",
-    "quinoa", "salmon", "lentil", "spinach", "oatmeal", "banana", "peanut", "granola", "tofu",
-    "broccoli", "sugar",
+    "chocolate",
+    "honey",
+    "calories",
+    "butter",
+    "cheese",
+    "yogurt",
+    "avocado",
+    "almond",
+    "pasta",
+    "quinoa",
+    "salmon",
+    "lentil",
+    "spinach",
+    "oatmeal",
+    "banana",
+    "peanut",
+    "granola",
+    "tofu",
+    "broccoli",
+    "sugar",
 ];
 
 const NBA_VOCAB: &[&str] = &[
-    "lakers", "bucks", "celtics", "championship", "playoffs", "rebound", "pointguard", "dunk",
-    "threepointer", "spurs", "bulls", "knicks", "warriors", "roster", "draft", "mvp", "finals",
-    "assist", "defense", "franchise",
+    "lakers",
+    "bucks",
+    "celtics",
+    "championship",
+    "playoffs",
+    "rebound",
+    "pointguard",
+    "dunk",
+    "threepointer",
+    "spurs",
+    "bulls",
+    "knicks",
+    "warriors",
+    "roster",
+    "draft",
+    "mvp",
+    "finals",
+    "assist",
+    "defense",
+    "franchise",
 ];
 
 const AUTO_VOCAB: &[&str] = &[
-    "toyota", "camry", "lexus", "sedan", "mpg", "horsepower", "hybrid", "torque", "chassis",
-    "hatchback", "honda", "accord", "fuel", "transmission", "suv", "mileage", "engine", "brake",
-    "warranty", "airbag",
+    "toyota",
+    "camry",
+    "lexus",
+    "sedan",
+    "mpg",
+    "horsepower",
+    "hybrid",
+    "torque",
+    "chassis",
+    "hatchback",
+    "honda",
+    "accord",
+    "fuel",
+    "transmission",
+    "suv",
+    "mileage",
+    "engine",
+    "brake",
+    "warranty",
+    "airbag",
 ];
 
 const COUNTRY_VOCAB: &[&str] = &[
-    "brazil", "canada", "area", "population", "capital", "border", "continent", "gdp", "export",
-    "territory", "landmass", "coastline", "currency", "republic", "census", "hemisphere",
-    "language", "climate", "province", "region",
+    "brazil",
+    "canada",
+    "area",
+    "population",
+    "capital",
+    "border",
+    "continent",
+    "gdp",
+    "export",
+    "territory",
+    "landmass",
+    "coastline",
+    "currency",
+    "republic",
+    "census",
+    "hemisphere",
+    "language",
+    "climate",
+    "province",
+    "region",
 ];
 
 /// Builds the ItemCompare dataset.
@@ -59,7 +127,11 @@ pub fn item_compare(seed: u64) -> Dataset {
     let mut workers = item_compare_anchors();
     // Auto (domain index 2) is capped: its best worker stays at 0.76.
     let regime = DiversityRegime::new(4).with_cap(2, 0.74);
-    workers.extend(generate_profiles(&regime, 53 - workers.len(), seed ^ 0xBEEF));
+    workers.extend(generate_profiles(
+        &regime,
+        53 - workers.len(),
+        seed ^ 0xBEEF,
+    ));
 
     Dataset {
         name: "ItemCompare".into(),

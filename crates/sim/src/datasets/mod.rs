@@ -14,8 +14,8 @@ pub mod scale;
 pub mod table1;
 pub mod yahooqa;
 
-use icrowd_core::task::{DomainRegistry, Microtask, TaskId, TaskSet};
 use icrowd_core::answer::Answer;
+use icrowd_core::task::{DomainRegistry, Microtask, TaskId, TaskSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

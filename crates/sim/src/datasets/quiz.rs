@@ -15,8 +15,21 @@ use super::{seeded_rng, Dataset};
 use crate::profiles::WorkerProfile;
 
 const HISTORY_VOCAB: &[&str] = &[
-    "empire", "treaty", "dynasty", "revolution", "monarch", "crusade", "republic", "armistice",
-    "colony", "senate", "pharaoh", "feudal", "reformation", "parliament", "siege",
+    "empire",
+    "treaty",
+    "dynasty",
+    "revolution",
+    "monarch",
+    "crusade",
+    "republic",
+    "armistice",
+    "colony",
+    "senate",
+    "pharaoh",
+    "feudal",
+    "reformation",
+    "parliament",
+    "siege",
 ];
 
 const SCIENCE_VOCAB: &[&str] = &[
@@ -34,7 +47,9 @@ pub fn quiz(seed: u64) -> Dataset {
         let domain = domains.intern(name);
         for _ in 0..40 {
             let n = rng.gen_range(6..=9usize);
-            let words: Vec<&str> = (0..n).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect();
+            let words: Vec<&str> = (0..n)
+                .map(|_| vocab[rng.gen_range(0..vocab.len())])
+                .collect();
             let truth = Answer(rng.gen_range(0..4u8));
             let text = format!("Which option is correct: {}", words.join(" "));
             tasks.push_with(|id| {

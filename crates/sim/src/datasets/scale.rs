@@ -30,11 +30,7 @@ pub fn scalability_tasks(n: usize) -> TaskSet {
 ///
 /// Duplicate pairs are deduplicated downstream by the graph constructor
 /// (keeping the max weight); self-pairs are skipped.
-pub fn scalability_edges(
-    n: usize,
-    max_neighbors: usize,
-    seed: u64,
-) -> Vec<(TaskId, TaskId, f64)> {
+pub fn scalability_edges(n: usize, max_neighbors: usize, seed: u64) -> Vec<(TaskId, TaskId, f64)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(n * max_neighbors);
     for i in 0..n as u32 {

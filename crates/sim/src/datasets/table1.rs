@@ -14,17 +14,57 @@ use crate::profiles::WorkerProfile;
 /// The Table-1 record pairs and their (manually judged) match labels.
 /// Domains follow the paper's narrative: iPhone, iPod, iPad topics.
 const TABLE1: &[(&str, &str, &str, bool)] = &[
-    ("iphone 4 WiFi 32GB", "iphone four 3G black", "iPhone", false),
-    ("ipod touch 32GB WiFi", "ipod touch headphone", "iPod", false),
-    ("ipad 3 WiFi 32GB black", "new ipad cover white", "iPad", false),
-    ("iphone four WiFi 16GB", "iphone four 3G 16GB", "iPhone", false),
+    (
+        "iphone 4 WiFi 32GB",
+        "iphone four 3G black",
+        "iPhone",
+        false,
+    ),
+    (
+        "ipod touch 32GB WiFi",
+        "ipod touch headphone",
+        "iPod",
+        false,
+    ),
+    (
+        "ipad 3 WiFi 32GB black",
+        "new ipad cover white",
+        "iPad",
+        false,
+    ),
+    (
+        "iphone four WiFi 16GB",
+        "iphone four 3G 16GB",
+        "iPhone",
+        false,
+    ),
     ("iphone 4 case black", "iphone 4 WiFi 32GB", "iPhone", false),
-    ("iphone 4 WiFi 32GB", "iphone four WiFi 32GB", "iPhone", true),
-    ("ipod touch 32GB WiFi", "ipod touch case black", "iPod", false),
+    (
+        "iphone 4 WiFi 32GB",
+        "iphone four WiFi 32GB",
+        "iPhone",
+        true,
+    ),
+    (
+        "ipod touch 32GB WiFi",
+        "ipod touch case black",
+        "iPod",
+        false,
+    ),
     ("ipod touch headphone", "ipod nano headphone", "iPod", false),
     ("ipod touch WiFi", "ipod nano headphone", "iPod", false),
-    ("ipad 3 WiFi 32GB black", "iphone 4 cover white", "iPad", false),
-    ("ipad 4 WiFi 16GB", "ipad retina display WiFi 16GB", "iPad", true),
+    (
+        "ipad 3 WiFi 32GB black",
+        "iphone 4 cover white",
+        "iPad",
+        false,
+    ),
+    (
+        "ipad 4 WiFi 16GB",
+        "ipad retina display WiFi 16GB",
+        "iPad",
+        true,
+    ),
     ("ipad 3 cover white", "new ipad cover white", "iPad", false),
 ];
 
@@ -45,12 +85,9 @@ pub fn table1() -> Dataset {
                     tokens.push(t);
                 }
             }
-            Microtask::binary(
-                icrowd_core::task::TaskId(i as u32),
-                tokens.join(" "),
-            )
-            .with_domain(d)
-            .with_ground_truth(if matched { Answer::YES } else { Answer::NO })
+            Microtask::binary(icrowd_core::task::TaskId(i as u32), tokens.join(" "))
+                .with_domain(d)
+                .with_ground_truth(if matched { Answer::YES } else { Answer::NO })
         })
         .collect();
 
@@ -113,14 +150,8 @@ mod tests {
     #[test]
     fn token_sets_match_table1_column_three() {
         let ds = table1();
-        assert_eq!(
-            ds.tasks[TaskId(0)].text,
-            "iphone 4 WiFi 32GB four 3G black"
-        );
-        assert_eq!(
-            ds.tasks[TaskId(10)].text,
-            "ipad 4 WiFi 16GB retina display"
-        );
+        assert_eq!(ds.tasks[TaskId(0)].text, "iphone 4 WiFi 32GB four 3G black");
+        assert_eq!(ds.tasks[TaskId(10)].text, "ipad 4 WiFi 16GB retina display");
     }
 
     #[test]

@@ -27,33 +27,118 @@ const FIFA_VOCAB: &[&str] = &[
 ];
 
 const BOOKS_VOCAB: &[&str] = &[
-    "novel", "author", "chapter", "publisher", "fiction", "poetry", "manuscript", "literature",
-    "editor", "paperback", "hemingway", "austen", "dickens", "plot", "narrator", "memoir",
-    "anthology", "prose", "bestseller", "library",
+    "novel",
+    "author",
+    "chapter",
+    "publisher",
+    "fiction",
+    "poetry",
+    "manuscript",
+    "literature",
+    "editor",
+    "paperback",
+    "hemingway",
+    "austen",
+    "dickens",
+    "plot",
+    "narrator",
+    "memoir",
+    "anthology",
+    "prose",
+    "bestseller",
+    "library",
 ];
 
 const DIET_VOCAB: &[&str] = &[
-    "calorie", "protein", "workout", "cardio", "vitamin", "carbohydrate", "metabolism",
-    "nutrition", "fiber", "weight", "muscle", "exercise", "fasting", "supplement", "treadmill",
-    "yoga", "hydration", "sugar", "cholesterol", "fitness",
+    "calorie",
+    "protein",
+    "workout",
+    "cardio",
+    "vitamin",
+    "carbohydrate",
+    "metabolism",
+    "nutrition",
+    "fiber",
+    "weight",
+    "muscle",
+    "exercise",
+    "fasting",
+    "supplement",
+    "treadmill",
+    "yoga",
+    "hydration",
+    "sugar",
+    "cholesterol",
+    "fitness",
 ];
 
 const HOMESCHOOL_VOCAB: &[&str] = &[
-    "homeschool", "curriculum", "lesson", "parent", "grade", "textbook", "tutor", "worksheet",
-    "phonics", "socialization", "transcript", "coop", "unschooling", "assessment", "kindergarten",
-    "syllabus", "montessori", "classical", "portfolio", "fieldtrip",
+    "homeschool",
+    "curriculum",
+    "lesson",
+    "parent",
+    "grade",
+    "textbook",
+    "tutor",
+    "worksheet",
+    "phonics",
+    "socialization",
+    "transcript",
+    "coop",
+    "unschooling",
+    "assessment",
+    "kindergarten",
+    "syllabus",
+    "montessori",
+    "classical",
+    "portfolio",
+    "fieldtrip",
 ];
 
 const HUNTING_VOCAB: &[&str] = &[
-    "hunting", "deer", "rifle", "bow", "season", "camouflage", "scent", "blind", "decoy", "antler",
-    "turkey", "shotgun", "caliber", "scope", "tracking", "elk", "bait", "license", "stand",
+    "hunting",
+    "deer",
+    "rifle",
+    "bow",
+    "season",
+    "camouflage",
+    "scent",
+    "blind",
+    "decoy",
+    "antler",
+    "turkey",
+    "shotgun",
+    "caliber",
+    "scope",
+    "tracking",
+    "elk",
+    "bait",
+    "license",
+    "stand",
     "gamebird",
 ];
 
 const PHILOSOPHY_VOCAB: &[&str] = &[
-    "philosophy", "kant", "ethics", "metaphysics", "epistemology", "nietzsche", "logic",
-    "existentialism", "plato", "aristotle", "utilitarian", "phenomenology", "dualism", "stoic",
-    "dialectic", "apriori", "ontology", "socrates", "descartes", "hume",
+    "philosophy",
+    "kant",
+    "ethics",
+    "metaphysics",
+    "epistemology",
+    "nietzsche",
+    "logic",
+    "existentialism",
+    "plato",
+    "aristotle",
+    "utilitarian",
+    "phenomenology",
+    "dualism",
+    "stoic",
+    "dialectic",
+    "apriori",
+    "ontology",
+    "socrates",
+    "descartes",
+    "hume",
 ];
 
 /// Per-domain task counts summing to 110 (the paper gives only the

@@ -25,15 +25,15 @@
 #![warn(clippy::dbg_macro)]
 
 pub mod campaign;
-pub mod diagnostics;
 pub mod datasets;
+pub mod diagnostics;
 pub mod metrics;
 pub mod profiles;
 pub mod worker_model;
 
 pub use campaign::{run_campaign, Approach, CampaignConfig, CampaignResult, QualStrategy};
-pub use diagnostics::{estimation_quality, voter_quality, EstimationQuality};
 pub use datasets::Dataset;
+pub use diagnostics::{estimation_quality, voter_quality, EstimationQuality};
 pub use metrics::DomainAccuracy;
 pub use profiles::WorkerProfile;
 pub use worker_model::SimWorker;

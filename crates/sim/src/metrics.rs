@@ -90,7 +90,11 @@ mod tests {
         let mut results = HashMap::new();
         for t in ds.tasks.iter() {
             let truth = t.ground_truth.unwrap();
-            let ans = if t.id == TaskId(0) { truth.negated() } else { truth };
+            let ans = if t.id == TaskId(0) {
+                truth.negated()
+            } else {
+                truth
+            };
             results.insert(t.id, ans);
         }
         let excluded: HashSet<TaskId> = [TaskId(1)].into_iter().collect();
@@ -113,11 +117,8 @@ mod tests {
 
     #[test]
     fn top_workers_sorted_desc_then_name() {
-        let sorted = top_workers_by_assignments(vec![
-            ("b".into(), 5),
-            ("a".into(), 9),
-            ("c".into(), 5),
-        ]);
+        let sorted =
+            top_workers_by_assignments(vec![("b".into(), 5), ("a".into(), 9), ("c".into(), 5)]);
         assert_eq!(
             sorted,
             vec![("a".into(), 9), ("b".into(), 5), ("c".into(), 5)]

@@ -203,7 +203,11 @@ mod tests {
                     .iter()
                     .cloned()
                     .fold(f64::NEG_INFINITY, f64::max);
-                let min = p.domain_accuracy.iter().cloned().fold(f64::INFINITY, f64::min);
+                let min = p
+                    .domain_accuracy
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
                 max - min > 0.2
             })
             .count();

@@ -90,14 +90,18 @@ mod tests {
         let t_good = task(0, Answer::YES);
         let t_bad = task(1, Answer::YES);
         let n = 5000;
-        let correct_good = (0..n)
-            .filter(|_| w.answer(&t_good) == Answer::YES)
-            .count() as f64
-            / n as f64;
-        let correct_bad = (0..n).filter(|_| w.answer(&t_bad) == Answer::YES).count() as f64
-            / n as f64;
-        assert!((correct_good - 0.9).abs() < 0.03, "good domain: {correct_good}");
-        assert!((correct_bad - 0.2).abs() < 0.03, "bad domain: {correct_bad}");
+        let correct_good =
+            (0..n).filter(|_| w.answer(&t_good) == Answer::YES).count() as f64 / n as f64;
+        let correct_bad =
+            (0..n).filter(|_| w.answer(&t_bad) == Answer::YES).count() as f64 / n as f64;
+        assert!(
+            (correct_good - 0.9).abs() < 0.03,
+            "good domain: {correct_good}"
+        );
+        assert!(
+            (correct_bad - 0.2).abs() < 0.03,
+            "bad domain: {correct_bad}"
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl ClassifierSimilarity {
     fn features(&self, a: TaskId, b: TaskId) -> [f64; NUM_FEATURES] {
         let j = self.jaccard.similarity(a, b);
         let c = self.tfidf.cosine(a.index(), b.index());
-        let (la, lb) = (self.lengths[a.index()] as f64, self.lengths[b.index()] as f64);
+        let (la, lb) = (
+            self.lengths[a.index()] as f64,
+            self.lengths[b.index()] as f64,
+        );
         let len_sim = if la.max(lb) == 0.0 {
             1.0
         } else {

@@ -87,8 +87,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &(x, y))| {
-                Microtask::binary(TaskId(i as u32), format!("poi {i}"))
-                    .with_features(vec![x, y])
+                Microtask::binary(TaskId(i as u32), format!("poi {i}")).with_features(vec![x, y])
             })
             .collect()
     }

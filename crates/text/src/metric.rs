@@ -95,7 +95,10 @@ impl MatrixSimilarity {
 
 impl TaskSimilarity for MatrixSimilarity {
     fn similarity(&self, a: TaskId, b: TaskId) -> f64 {
-        assert!(a.index() < self.n && b.index() < self.n, "task out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "task out of range"
+        );
         self.values[a.index() * self.n + b.index()]
     }
 

@@ -42,11 +42,7 @@ impl SparseVector {
 
     /// The L2 norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Scales the vector to unit L2 norm (no-op on the zero vector).
@@ -122,7 +118,11 @@ impl TfIdfModel {
                 v
             })
             .collect();
-        Self { vocab, idf, vectors }
+        Self {
+            vocab,
+            idf,
+            vectors,
+        }
     }
 
     /// The fitted vocabulary.

@@ -178,10 +178,7 @@ mod tests {
     #[test]
     fn duplicates_are_preserved() {
         let t = Tokenizer::new();
-        assert_eq!(
-            t.tokenize("ipod ipod nano"),
-            vec!["ipod", "ipod", "nano"]
-        );
+        assert_eq!(t.tokenize("ipod ipod nano"), vec!["ipod", "ipod", "nano"]);
     }
 
     #[test]

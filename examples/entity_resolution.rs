@@ -11,8 +11,8 @@
 //! cargo run --release --example entity_resolution
 //! ```
 
-use icrowd::AssignStrategy;
 use icrowd::core::{Answer, DomainRegistry, Microtask, TaskSet};
+use icrowd::AssignStrategy;
 use icrowd_sim::campaign::{run_campaign, Approach, CampaignConfig, MetricChoice};
 use icrowd_sim::datasets::Dataset;
 use icrowd_sim::profiles::WorkerProfile;

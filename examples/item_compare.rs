@@ -16,7 +16,10 @@ fn main() {
     let (t, d, w) = dataset.statistics();
     println!("ItemCompare: {t} comparison microtasks, {d} domains, {w} workers\n");
 
-    println!("{:<10} {:>8} {:>10} {:>10}", "approach", "k", "overall", "answers");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10}",
+        "approach", "k", "overall", "answers"
+    );
     for k in [1usize, 3, 5] {
         for approach in [Approach::RandomMV, Approach::ICrowd(AssignStrategy::Adapt)] {
             let config = CampaignConfig {

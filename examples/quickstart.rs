@@ -38,7 +38,12 @@ fn main() {
     let workers = dataset.spawn_workers(7);
     let behaviors: Vec<(WorkerScript, Box<dyn WorkerBehavior>)> = workers
         .into_iter()
-        .map(|w| (WorkerScript::default(), Box::new(w) as Box<dyn WorkerBehavior>))
+        .map(|w| {
+            (
+                WorkerScript::default(),
+                Box::new(w) as Box<dyn WorkerBehavior>,
+            )
+        })
         .collect();
 
     // 4. Run the marketplace until every microtask is globally completed.

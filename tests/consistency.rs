@@ -1,13 +1,15 @@
 //! Cross-crate invariants: the algebraic relationships between layers
 //! that no unit test can see in isolation.
 
-use icrowd::assign::{greedy_assign, optimal_assign, top_worker_set, TopWorkerSet};
 use icrowd::assign::greedy::scheme_objective;
+use icrowd::assign::{greedy_assign, optimal_assign, top_worker_set, TopWorkerSet};
 use icrowd::core::{
     majority_vote, worker_set_accuracy, Answer, ICrowdConfig, PprConfig, TaskId, Vote, WorkerId,
 };
 use icrowd::estimate::{AccuracyEstimator, EstimationMode};
-use icrowd::graph::{power_iteration, GraphBuilder, LinearityIndex, SimilarityGraph, SparseTaskVector};
+use icrowd::graph::{
+    power_iteration, GraphBuilder, LinearityIndex, SimilarityGraph, SparseTaskVector,
+};
 use icrowd::text::{CosineTfIdf, JaccardSimilarity, TaskSimilarity, Tokenizer};
 use icrowd_sim::datasets::{table1, yahooqa};
 use proptest::prelude::*;
@@ -105,10 +107,8 @@ fn figure3_pipeline_is_self_consistent() {
     let index = LinearityIndex::build(&graph, 1.0, &PprConfig::default());
     let quals = icrowd::assign::select_qualification_influence(&index, 3);
     assert_eq!(quals.len(), 3);
-    let domains: std::collections::HashSet<_> = quals
-        .iter()
-        .map(|&q| ds.tasks[q].domain.unwrap())
-        .collect();
+    let domains: std::collections::HashSet<_> =
+        quals.iter().map(|&q| ds.tasks[q].domain.unwrap()).collect();
     assert_eq!(
         domains.len(),
         3,
@@ -120,15 +120,12 @@ fn figure3_pipeline_is_self_consistent() {
 fn similarity_metrics_agree_on_extremes() {
     // All text metrics must call identical texts maximal and disjoint
     // texts minimal — a contract the graph layer relies on.
-    let tasks: icrowd::core::TaskSet = [
-        "alpha beta gamma",
-        "alpha beta gamma",
-        "delta epsilon zeta",
-    ]
-    .iter()
-    .enumerate()
-    .map(|(i, t)| icrowd::core::Microtask::binary(TaskId(i as u32), *t))
-    .collect();
+    let tasks: icrowd::core::TaskSet =
+        ["alpha beta gamma", "alpha beta gamma", "delta epsilon zeta"]
+            .iter()
+            .enumerate()
+            .map(|(i, t)| icrowd::core::Microtask::binary(TaskId(i as u32), *t))
+            .collect();
     let tok = Tokenizer::keeping_stopwords();
     let metrics: Vec<Box<dyn TaskSimilarity>> = vec![
         Box::new(JaccardSimilarity::new(&tasks, &tok)),

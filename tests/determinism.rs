@@ -34,7 +34,10 @@ fn different_seeds_produce_different_campaigns() {
     let a = run_campaign(
         &item_compare(1),
         Approach::ICrowd(AssignStrategy::Adapt),
-        &CampaignConfig { seed: 1, ..config.clone() },
+        &CampaignConfig {
+            seed: 1,
+            ..config.clone()
+        },
     );
     let b = run_campaign(
         &item_compare(2),

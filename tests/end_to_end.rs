@@ -40,7 +40,12 @@ fn every_approach_completes_a_yahooqa_campaign() {
             r.approach,
             r.overall
         );
-        assert!(r.answers > 100, "{}: only {} answers", r.approach, r.answers);
+        assert!(
+            r.answers > 100,
+            "{}: only {} answers",
+            r.approach,
+            r.answers
+        );
         // Every domain is measured.
         assert_eq!(r.per_domain.len(), 6);
         let measured: usize = r.per_domain.iter().map(|d| d.total).sum();
@@ -75,7 +80,11 @@ fn icrowd_beats_random_assignment_on_expert_crowds() {
 #[test]
 fn campaign_accounting_is_consistent() {
     let ds = table1();
-    let r = run_campaign(&ds, Approach::ICrowd(AssignStrategy::Adapt), &table1_config());
+    let r = run_campaign(
+        &ds,
+        Approach::ICrowd(AssignStrategy::Adapt),
+        &table1_config(),
+    );
     // Spend is a multiple of the per-HIT reward.
     assert_eq!(r.spend_cents % 10, 0);
     // Worker assignment counts cover every profile.

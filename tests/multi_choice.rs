@@ -1,8 +1,8 @@
 //! Multi-choice microtasks end to end — the paper's Section 2.1 note
 //! that the techniques extend beyond YES/NO.
 
-use icrowd::AssignStrategy;
 use icrowd::core::{ICrowdConfig, WarmupConfig};
+use icrowd::AssignStrategy;
 use icrowd_sim::campaign::{run_campaign, Approach, CampaignConfig, MetricChoice};
 use icrowd_sim::datasets::quiz;
 

@@ -4,15 +4,14 @@
 
 use icrowd::core::{Answer, ICrowdConfig, Microtask, TaskId, TaskSet, WarmupConfig};
 use icrowd::platform::concurrent::run_concurrent;
-use icrowd::platform::market::{
-    MarketConfig, Marketplace, WorkerBehavior, WorkerScript,
-};
+use icrowd::platform::market::{MarketConfig, Marketplace, WorkerBehavior, WorkerScript};
 use icrowd::platform::{EventLog, ExternalQuestionServer, MarketEvent};
 use icrowd::{AssignStrategy, ICrowdBuilder};
 use icrowd_sim::datasets::table1;
 
 fn build_server(tasks: TaskSet) -> impl ExternalQuestionServer {
-    let metric = icrowd::text::JaccardSimilarity::new(&tasks, &icrowd::text::Tokenizer::keeping_stopwords());
+    let metric =
+        icrowd::text::JaccardSimilarity::new(&tasks, &icrowd::text::Tokenizer::keeping_stopwords());
     ICrowdBuilder::new(tasks)
         .config(ICrowdConfig {
             similarity_threshold: 0.4,
@@ -33,7 +32,12 @@ fn crowd(n: usize) -> Vec<(WorkerScript, Box<dyn WorkerBehavior>)> {
         .into_iter()
         .cycle()
         .take(n)
-        .map(|w| (WorkerScript::default(), Box::new(w) as Box<dyn WorkerBehavior>))
+        .map(|w| {
+            (
+                WorkerScript::default(),
+                Box::new(w) as Box<dyn WorkerBehavior>,
+            )
+        })
         .collect()
 }
 

@@ -1,0 +1,31 @@
+//! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Only the multi-producer/single-consumer unbounded channel surface the
+//! workspace uses is provided; `send`/`recv`/`try_recv` signatures match
+//! crossbeam's.
+
+pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        });
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+}

@@ -1,0 +1,687 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a minimal serde replacement. Unlike real serde's
+//! format-agnostic visitor architecture, this stand-in is JSON-only:
+//! [`Serialize`] writes JSON text directly and [`Deserialize`] reads from
+//! a parsed [`Value`] tree. The derive macros (re-exported from the
+//! companion `serde_derive` stub) generate impls following serde's JSON
+//! conventions — newtype structs serialize transparently, enums are
+//! externally tagged — so anything this stand-in writes, it reads back.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number preserving integer exactness.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The number as `f64` (always possible, maybe lossy).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The number as `u64` if it is a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The number as `i64` if it is an integer in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f)
+                if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&f) =>
+            {
+                Some(f as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+/// A parsed JSON value (the deserialization source).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+const NULL: &Value = &Value::Null;
+
+impl Value {
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object (key/value slice), if it is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// serde_json-style indexing: missing keys and non-objects yield
+    /// `Null` rather than panicking.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            #[allow(unused_comparisons)]
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v as i64))
+                }
+            }
+        }
+    )*};
+}
+value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F(f64::from(v)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.to_json(&mut out);
+        write!(f, "{out}")
+    }
+}
+
+/// Types serializable to JSON text.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn to_json(&self, out: &mut String);
+}
+
+/// Types deserializable from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs the value.
+    ///
+    /// # Errors
+    /// Returns [`Error`] when `v` has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Writes `s` as a JSON string literal (with escaping) into `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an `f64` as JSON (non-finite values become `null`, matching
+/// serde_json's lossy default).
+pub fn write_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+// ---- Helpers used by derive-generated code ----
+
+/// Asserts `v` is an object, naming `ty` in the error.
+pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    v.as_object()
+        .ok_or_else(|| Error::custom(format!("expected object for {ty}")))
+}
+
+/// Asserts `v` is an array of length `n`, naming `ty` in the error.
+pub fn expect_array<'a>(v: &'a Value, n: usize, ty: &str) -> Result<&'a [Value], Error> {
+    match v.as_array() {
+        Some(a) if a.len() == n => Ok(a),
+        Some(a) => Err(Error::custom(format!(
+            "expected {n} elements for {ty}, got {}",
+            a.len()
+        ))),
+        None => Err(Error::custom(format!("expected array for {ty}"))),
+    }
+}
+
+/// Field lookup for derive-generated struct deserialization; missing
+/// fields read as `null` (so `Option` fields default to `None`).
+pub fn obj_get<'a>(obj: &'a [(String, Value)], key: &str) -> &'a Value {
+    obj.iter().find(|(k, _)| k == key).map_or(NULL, |(_, v)| v)
+}
+
+/// Splits an externally-tagged enum value into `(variant, payload)`:
+/// a bare string is a unit variant, a single-key object carries a payload.
+pub fn expect_enum<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, &'a Value), Error> {
+    match v {
+        Value::String(s) => Ok((s.as_str(), NULL)),
+        Value::Object(o) if o.len() == 1 => Ok((o[0].0.as_str(), &o[0].1)),
+        _ => Err(Error::custom(format!(
+            "expected externally tagged enum for {ty}"
+        ))),
+    }
+}
+
+// ---- Serialize / Deserialize impls for std types ----
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self, out: &mut String) {
+        write_json_f64(out, *self);
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self, out: &mut String) {
+        write_json_f64(out, f64::from(*self));
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self, out: &mut String) {
+        (**self).to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.to_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.to_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json(&self, out: &mut String) {
+        // Sorted keys: deterministic output regardless of hasher state.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, k);
+            out.push(':');
+            self[*k].to_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, val)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, k);
+            out.push(':');
+            val.to_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident/$idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self, out: &mut String) {
+                out.push('[');
+                let mut __first = true;
+                $(
+                    if !__first {
+                        out.push(',');
+                    }
+                    __first = false;
+                    self.$idx.to_json(out);
+                )+
+                let _ = __first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$(stringify!($name)),+].len();
+                let arr = expect_array(v, LEN, "tuple")?;
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+impl Serialize for Value {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.to_json(out),
+            Value::Number(Number::U(u)) => out.push_str(&u.to_string()),
+            Value::Number(Number::I(i)) => out.push_str(&i.to_string()),
+            Value::Number(Number::F(f)) => write_json_f64(out, *f),
+            Value::String(s) => write_json_string(out, s),
+            Value::Array(a) => a.to_json(out),
+            Value::Object(o) => {
+                out.push('{');
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.to_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_string<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut out = String::new();
+        v.to_json(&mut out);
+        out
+    }
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(to_string(&42u32), "42");
+        assert_eq!(to_string(&-7i64), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(to_string(&Option::<u32>::None), "null");
+        assert_eq!(to_string(&vec![1u32, 2]), "[1,2]");
+        assert_eq!(to_string(&f64::NAN), "null");
+    }
+
+    #[test]
+    fn value_indexing_and_comparison() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("x".into())),
+            ("n".into(), Value::Number(Number::U(3))),
+        ]);
+        assert_eq!(v["name"], "x");
+        assert!(v["missing"].is_null());
+        assert_eq!(v["n"].as_f64(), Some(3.0));
+        assert_eq!(v["n"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn option_roundtrip_through_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let v = Value::Number(Number::U(5));
+        assert_eq!(Option::<u32>::from_value(&v).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn numbers_compare_across_variants() {
+        assert_eq!(Number::U(3), Number::F(3.0));
+        assert_eq!(Number::I(-2), Number::F(-2.0));
+        assert!(Number::F(0.5) != Number::U(0));
+    }
+}

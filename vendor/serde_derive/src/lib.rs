@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` with no
+//! syn/quote dependency: the input `TokenStream` is walked directly and
+//! impl code is emitted as formatted strings. Supported input shapes are
+//! the ones this workspace uses — non-generic structs (named, tuple/
+//! newtype, unit) and enums (unit, tuple, and struct variants) — encoded
+//! with serde's JSON conventions: newtypes are transparent, enums are
+//! externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        types: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct { name, .. }
+            | Item::TupleStruct { name, .. }
+            | Item::UnitStruct { name }
+            | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+// ---- Parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume the bracketed group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut it);
+            }
+            Some(_) => {}
+            None => panic!("derive input contained no struct or enum"),
+        }
+    }
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_struct(it: &mut TokenIter) -> Item {
+    let name = expect_ident(it, "struct name");
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+            name,
+            fields: parse_named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::TupleStruct {
+            name,
+            types: parse_tuple_types(g.stream()),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stand-in derive does not support generic types ({name})")
+        }
+        other => panic!("unexpected token after struct name: {other:?}"),
+    }
+}
+
+fn parse_enum(it: &mut TokenIter) -> Item {
+    let name = expect_ident(it, "enum name");
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stand-in derive does not support generic enums ({name})")
+        }
+        other => panic!("expected enum body, found {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes on the variant.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let vname = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let types = parse_tuple_types(g.stream());
+                it.next();
+                VariantShape::Tuple(types)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '=' {
+                while let Some(tt) = it.peek() {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    it.next();
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    Item::Enum { name, variants }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        let ty = collect_type(&mut it);
+        fields.push(Field { name, ty });
+    }
+    fields
+}
+
+fn parse_tuple_types(stream: TokenStream) -> Vec<String> {
+    let mut types = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the type.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if it.peek().is_none() {
+            break;
+        }
+        types.push(collect_type(&mut it));
+    }
+    types
+}
+
+/// Collects one type's tokens up to a top-level `,` (tracking `<...>`
+/// nesting so commas inside generic arguments stay attached).
+fn collect_type(it: &mut TokenIter) -> String {
+    let mut depth = 0i32;
+    let mut tokens: Vec<TokenTree> = Vec::new();
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                it.next();
+                break;
+            }
+            _ => {}
+        }
+        tokens.push(it.next().unwrap());
+    }
+    tokens.into_iter().collect::<TokenStream>().to_string()
+}
+
+// ---- Code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    let name = item.name();
+    let body = match item {
+        Item::NamedStruct { fields, .. } => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "serde::write_json_string(out, \"{n}\");\nout.push(':');\nserde::Serialize::to_json(&self.{n}, out);\n",
+                    n = f.name
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Item::TupleStruct { types, .. } if types.len() == 1 => {
+            // Newtype: serialize transparently as the inner value.
+            "serde::Serialize::to_json(&self.0, out);".to_string()
+        }
+        Item::TupleStruct { types, .. } => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..types.len() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("serde::Serialize::to_json(&self.{i}, out);\n"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Item::UnitStruct { .. } => "out.push_str(\"null\");".to_string(),
+        Item::Enum { variants, .. } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => serde::write_json_string(out, \"{v}\"),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantShape::Tuple(types) => {
+                        let binds: Vec<String> =
+                            (0..types.len()).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{v}({binds}) => {{\nout.push('{{');\nserde::write_json_string(out, \"{v}\");\nout.push(':');\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        );
+                        if binds.len() == 1 {
+                            arm.push_str("serde::Serialize::to_json(__f0, out);\n");
+                        } else {
+                            arm.push_str("out.push('[');\n");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    arm.push_str("out.push(',');\n");
+                                }
+                                arm.push_str(&format!("serde::Serialize::to_json({b}, out);\n"));
+                            }
+                            arm.push_str("out.push(']');\n");
+                        }
+                        arm.push_str("out.push('}');\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {binds} }} => {{\nout.push('{{');\nserde::write_json_string(out, \"{v}\");\nout.push(':');\nout.push('{{');\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        );
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                arm.push_str("out.push(',');\n");
+                            }
+                            arm.push_str(&format!(
+                                "serde::write_json_string(out, \"{n}\");\nout.push(':');\nserde::Serialize::to_json({n}, out);\n",
+                                n = f.name
+                            ));
+                        }
+                        arm.push_str("out.push('}');\nout.push('}');\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Serialize for {name} {{\n#[allow(unused_variables, clippy::all)]\nfn to_json(&self, out: &mut String) {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = item.name();
+    let body = match item {
+        Item::NamedStruct { fields, .. } => {
+            let mut b =
+                format!("let __obj = serde::expect_object(__v, \"{name}\")?;\nOk({name} {{\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "{n}: <{ty} as serde::Deserialize>::from_value(serde::obj_get(__obj, \"{n}\"))?,\n",
+                    n = f.name,
+                    ty = f.ty
+                ));
+            }
+            b.push_str("})");
+            b
+        }
+        Item::TupleStruct { types, .. } if types.len() == 1 => format!(
+            "Ok({name}(<{ty} as serde::Deserialize>::from_value(__v)?))",
+            ty = types[0]
+        ),
+        Item::TupleStruct { types, .. } => {
+            let n = types.len();
+            let mut b =
+                format!("let __arr = serde::expect_array(__v, {n}, \"{name}\")?;\nOk({name}(\n");
+            for (i, ty) in types.iter().enumerate() {
+                b.push_str(&format!(
+                    "<{ty} as serde::Deserialize>::from_value(&__arr[{i}])?,\n"
+                ));
+            }
+            b.push_str("))");
+            b
+        }
+        Item::UnitStruct { .. } => format!("Ok({name})"),
+        Item::Enum { variants, .. } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n", v = v.name));
+                    }
+                    VariantShape::Tuple(types) if types.len() == 1 => {
+                        arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}(<{ty} as serde::Deserialize>::from_value(__payload)?)),\n",
+                            v = v.name,
+                            ty = types[0]
+                        ));
+                    }
+                    VariantShape::Tuple(types) => {
+                        let n = types.len();
+                        let mut arm = format!(
+                            "\"{v}\" => {{\nlet __arr = serde::expect_array(__payload, {n}, \"{name}::{v}\")?;\nOk({name}::{v}(\n",
+                            v = v.name
+                        );
+                        for (i, ty) in types.iter().enumerate() {
+                            arm.push_str(&format!(
+                                "<{ty} as serde::Deserialize>::from_value(&__arr[{i}])?,\n"
+                            ));
+                        }
+                        arm.push_str("))\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{v}\" => {{\nlet __obj = serde::expect_object(__payload, \"{name}::{v}\")?;\nOk({name}::{v} {{\n",
+                            v = v.name
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{n}: <{ty} as serde::Deserialize>::from_value(serde::obj_get(__obj, \"{n}\"))?,\n",
+                                n = f.name,
+                                ty = f.ty
+                            ));
+                        }
+                        arm.push_str("})\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload) = serde::expect_enum(__v, \"{name}\")?;\nmatch __tag {{\n{arms}__other => Err(serde::Error::custom(format!(\"unknown variant `{{}}` for {name}\", __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Deserialize for {name} {{\n#[allow(unused_variables, clippy::all)]\nfn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

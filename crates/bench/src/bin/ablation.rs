@@ -19,6 +19,7 @@ use icrowd_sim::campaign::{Approach, CampaignConfig, WorkerDynamics};
 use icrowd_sim::datasets::yahooqa;
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     println!("=== Ablation 1: estimation mode (YahooQA, iCrowd Adapt) ===");
     for mode in [
         EstimationMode::Raw,
@@ -92,4 +93,5 @@ fn main() {
             ic.rows.last().unwrap().1 - mv.rows.last().unwrap().1
         );
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

@@ -15,6 +15,7 @@ use icrowd_sim::campaign::{run_campaign, Approach, CampaignConfig};
 use icrowd_sim::datasets::yahooqa;
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     println!("=== Extension: confidence-based early stopping (YahooQA, k = 5) ===");
     println!(
         "{:>10} {:>12} {:>14} {:>12}",
@@ -49,4 +50,5 @@ fn main() {
             spend as f64 / n
         );
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

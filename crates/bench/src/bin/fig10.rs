@@ -21,6 +21,10 @@
 //! thread count (`0`/unset = all hardware threads; the built index is
 //! bit-identical regardless). `FIG10_JSON=path` additionally appends one
 //! JSON object per configuration to `path` for machine consumption.
+//! `FIG10_TELEMETRY=path` arms the `icrowd-obs` sink per configuration:
+//! each child writes its span/counter telemetry (index.build, ppr.solve,
+//! assign.loop, estimator.refresh, ...) to `path.<n>.<cap>.jsonl`; in
+//! direct child mode (`fig10 <n> <cap>`) the value is used verbatim.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -61,13 +65,17 @@ fn main() {
         "#microtasks", "cap", "index build (s)", "1000 assignments (ms)", "per request (us)"
     );
     let me = std::env::current_exe().expect("own path");
+    let telemetry_base = std::env::var("FIG10_TELEMETRY").ok();
     for &cap in &caps {
         for &n in &sizes {
-            let status = std::process::Command::new(&me)
-                .arg(n.to_string())
-                .arg(cap.to_string())
-                .status()
-                .expect("spawn child");
+            let mut child = std::process::Command::new(&me);
+            child.arg(n.to_string()).arg(cap.to_string());
+            // One telemetry file per configuration: the children run
+            // sequentially but must not clobber each other's export.
+            if let Some(base) = &telemetry_base {
+                child.env("FIG10_TELEMETRY", format!("{base}.{n}.{cap}.jsonl"));
+            }
+            let status = child.status().expect("spawn child");
             if !status.success() {
                 println!("{n:>12} {cap:>6}   (child failed: {status})");
             }
@@ -104,6 +112,11 @@ fn rss_mb() -> u64 {
 }
 
 fn run_one(n: usize, cap: usize) {
+    let telemetry = std::env::var("FIG10_TELEMETRY").ok();
+    if telemetry.is_some() {
+        icrowd_obs::reset();
+        icrowd_obs::enable();
+    }
     let debug_mem = std::env::var("FIG10_MEM").is_ok();
     {
         {
@@ -189,6 +202,15 @@ fn run_one(n: usize, cap: usize) {
                     .open(path)
                 {
                     let _ = writeln!(f, "{}", serde_json::to_string(&row).expect("row json"));
+                }
+            }
+            if let Some(path) = telemetry {
+                icrowd_obs::gauge_set("fig10.tasks", n as f64);
+                icrowd_obs::gauge_set("fig10.cap", cap as f64);
+                icrowd_obs::disable();
+                match icrowd_obs::write_jsonl(&path) {
+                    Ok(()) => eprintln!("telemetry written to {path}"),
+                    Err(e) => eprintln!("cannot write telemetry to {path}: {e}"),
                 }
             }
         }

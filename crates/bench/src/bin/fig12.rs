@@ -13,6 +13,7 @@ use icrowd_sim::campaign::{Approach, CampaignConfig, MetricChoice};
 use icrowd_sim::datasets::item_compare;
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let metrics = [
         MetricChoice::Jaccard,
         MetricChoice::CosTfIdf,
@@ -46,4 +47,5 @@ fn main() {
         }
         println!();
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

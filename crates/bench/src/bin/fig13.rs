@@ -13,6 +13,7 @@ use icrowd_sim::campaign::{Approach, CampaignConfig};
 use icrowd_sim::datasets::item_compare;
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     println!("=== Figure 13: effect of alpha (ItemCompare) ===");
     println!(
         "{:>8} {:>16} {:>16}",
@@ -42,4 +43,5 @@ fn main() {
         }
         println!("{row}");
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

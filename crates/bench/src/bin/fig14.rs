@@ -11,6 +11,7 @@ use icrowd_sim::campaign::{Approach, CampaignConfig};
 use icrowd_sim::datasets::item_compare;
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let approaches = [
         Approach::RandomMV,
         Approach::RandomEM,
@@ -40,4 +41,5 @@ fn main() {
         }
         println!();
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

@@ -11,6 +11,7 @@ use icrowd_sim::datasets::item_compare;
 use icrowd_sim::metrics::top_workers_by_assignments;
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let ds = item_compare(42);
     let config = CampaignConfig {
         dynamics: WorkerDynamics::HeavyTail,
@@ -41,4 +42,5 @@ fn main() {
         "top-15 workers completed {:.0}% of all assignments",
         100.0 * f64::from(top15) / f64::from(total.max(1))
     );
+    icrowd_bench::telemetry::finish(telemetry);
 }

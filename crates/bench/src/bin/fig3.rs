@@ -7,6 +7,7 @@ use icrowd_sim::datasets::table1::table1;
 use icrowd_text::{JaccardSimilarity, Tokenizer};
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let ds = table1();
     let metric = JaccardSimilarity::new(&ds.tasks, &Tokenizer::keeping_stopwords());
     let graph = GraphBuilder::new(0.5).build(&ds.tasks, &metric);
@@ -24,4 +25,5 @@ fn main() {
     if !isolated.is_empty() {
         println!("isolated at threshold 0.5: {}", isolated.join(", "));
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

@@ -10,6 +10,7 @@ use icrowd_platform::market::WorkerBehavior;
 use icrowd_sim::datasets::{item_compare, yahooqa, Dataset};
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let datasets: [(&str, &dyn Fn(u64) -> Dataset); 2] = [
         ("(a) YahooQA", &yahooqa),
         ("(b) ItemCompare", &item_compare),
@@ -60,4 +61,5 @@ fn main() {
             println!(" {:>8.3}", profile.average_accuracy());
         }
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

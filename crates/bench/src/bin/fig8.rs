@@ -11,6 +11,7 @@ use icrowd_sim::campaign::{Approach, CampaignConfig};
 use icrowd_sim::datasets::{item_compare, yahooqa, Dataset};
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let config = CampaignConfig::default();
     let datasets: [(&str, &dyn Fn(u64) -> Dataset); 2] =
         [("YahooQA", &yahooqa), ("ItemCompare", &item_compare)];
@@ -32,4 +33,5 @@ fn main() {
             &results,
         );
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

@@ -11,6 +11,7 @@ use icrowd_sim::campaign::{Approach, CampaignConfig};
 use icrowd_sim::datasets::{item_compare, yahooqa};
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let config = CampaignConfig::default();
     let approaches = [
         Approach::RandomMV,
@@ -31,4 +32,5 @@ fn main() {
             &results,
         );
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

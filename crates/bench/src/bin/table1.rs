@@ -4,6 +4,7 @@
 use icrowd_sim::datasets::table1::{table1, table1_pairs};
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let ds = table1();
     println!("=== Table 1: microtasks for verifying whether two entities are matched ===");
     println!("{:<5} {:<55} Tokens", "Task", "Verifying two entities");
@@ -15,4 +16,5 @@ fn main() {
             task.text
         );
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

@@ -3,6 +3,7 @@
 use icrowd_sim::datasets::{item_compare, yahooqa};
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     println!("=== Table 4: dataset statistics ===");
     println!("{:<20} {:>10} {:>12}", "Dataset", "YahooQA", "ItemCompare");
     let y = yahooqa(42).statistics();
@@ -10,4 +11,5 @@ fn main() {
     println!("{:<20} {:>10} {:>12}", "# of microtasks", y.0, ic.0);
     println!("{:<20} {:>10} {:>12}", "# of domains", y.1, ic.1);
     println!("{:<20} {:>10} {:>12}", "# of workers", y.2, ic.2);
+    icrowd_bench::telemetry::finish(telemetry);
 }

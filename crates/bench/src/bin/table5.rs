@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
     let ds = item_compare(42);
     let config = CampaignConfig::default();
     let graph = build_graph(&ds, &config);
@@ -105,4 +106,5 @@ fn main() {
         println!("{num_workers:>16} {:>22.1} {:>22.1}", errors[0], errors[1]);
         let _ = Answer::YES;
     }
+    icrowd_bench::telemetry::finish(telemetry);
 }

@@ -18,6 +18,37 @@ use icrowd_sim::metrics::DomainAccuracy;
 /// Seeds used by averaged experiments.
 pub const SEEDS: [u64; 5] = [42, 1337, 20150531, 7, 271828];
 
+/// Telemetry plumbing shared by the bench bins: arm the `icrowd-obs`
+/// sink from the `ICROWD_TELEMETRY` environment variable and write the
+/// JSONL export when the bin finishes. (`fig10` uses its own
+/// `FIG10_TELEMETRY` knob because it fans out over child processes.)
+pub mod telemetry {
+    /// Environment variable naming the JSONL export path.
+    pub const ENV: &str = "ICROWD_TELEMETRY";
+
+    /// Enables telemetry collection when [`ENV`] is set, returning the
+    /// export path. Call once at the top of `main`.
+    #[must_use]
+    pub fn init_from_env() -> Option<String> {
+        let path = std::env::var(ENV).ok()?;
+        icrowd_obs::reset();
+        icrowd_obs::enable();
+        Some(path)
+    }
+
+    /// Writes the JSONL export and a summary table to stderr when
+    /// telemetry was armed by [`init_from_env`]. Call at the end of
+    /// `main`.
+    pub fn finish(path: Option<String>) {
+        let Some(path) = path else { return };
+        icrowd_obs::disable();
+        match icrowd_obs::write_jsonl(&path) {
+            Ok(()) => eprintln!("{}telemetry written to {path}", icrowd_obs::summary_table()),
+            Err(e) => eprintln!("cannot write telemetry to {path}: {e}"),
+        }
+    }
+}
+
 /// Accuracy rows averaged over seeds: one entry per domain plus `ALL`.
 #[derive(Debug, Clone)]
 pub struct AveragedResult {

@@ -33,14 +33,18 @@ fn help_text() -> String {
 
 USAGE:
     icrowd datasets
-    icrowd campaign --dataset <name> [--approach <a>] [--seed N] [--k N] [--json]
-    icrowd compare  --dataset <name> [--seed N]
+    icrowd campaign --dataset <name> [--approach <a>] [--seed N] [--k N] [--json] [--telemetry <path>]
+    icrowd compare  --dataset <name> [--seed N] [--telemetry <path>]
     icrowd graph    --dataset <name> [--metric <m>] [--threshold X]
     icrowd quals    --dataset <name> [--q N] [--strategy inf|random]
 
 DATASETS:    yahooqa, item_compare, table1, quiz
 APPROACHES:  icrowd (Adapt), best-effort, qf-only, random-mv, random-em, avgacc-pv
 METRICS:     jaccard, cos-tfidf, cos-topic, edit-distance
+
+TELEMETRY:   --telemetry <path> records span timings (index.build, ppr.solve,
+             assign.loop, estimator.refresh, ...), counters and marketplace
+             events during the run and writes them to <path> as JSON lines.
 "
     .to_owned()
 }
@@ -121,6 +125,36 @@ fn campaign_config(args: &Args, dataset: &str) -> Result<CampaignConfig, CliErro
     })
 }
 
+/// Arms the telemetry sink when `--telemetry <path>` is present,
+/// returning the export path. The registry is cleared first so the
+/// export covers exactly this invocation.
+fn telemetry_begin(args: &Args) -> Option<&str> {
+    let path = args.get("telemetry");
+    if path.is_some() {
+        icrowd_obs::reset();
+        icrowd_obs::enable();
+    }
+    path
+}
+
+/// Writes the JSONL export (if armed) and, when `out` is given (i.e.
+/// the command prints human-readable text, not JSON), appends the
+/// summary table to it.
+fn telemetry_end(path: Option<&str>, out: Option<&mut String>) -> Result<(), CliError> {
+    let Some(path) = path else {
+        return Ok(());
+    };
+    icrowd_obs::disable();
+    icrowd_obs::write_jsonl(path)
+        .map_err(|e| CliError(format!("cannot write telemetry to `{path}`: {e}")))?;
+    if let Some(out) = out {
+        out.push('\n');
+        out.push_str(&icrowd_obs::summary_table());
+        writeln!(out, "telemetry written to {path}").unwrap();
+    }
+    Ok(())
+}
+
 fn datasets_cmd() -> Result<String, CliError> {
     let mut out = String::new();
     writeln!(
@@ -144,9 +178,11 @@ fn campaign_cmd(args: &Args) -> Result<String, CliError> {
     let config = campaign_config(args, name)?;
     let ds = dataset_by_name(name, config.seed)?;
     let approach = approach_by_name(args.get_or("approach", "icrowd"))?;
+    let telemetry = telemetry_begin(args);
     let r = run_campaign(&ds, approach, &config);
 
     if args.has_flag("json") {
+        telemetry_end(telemetry, None)?;
         let per_domain: Vec<serde_json::Value> = r
             .per_domain
             .iter()
@@ -197,6 +233,7 @@ fn campaign_cmd(args: &Args) -> Result<String, CliError> {
         r.answers, r.spend_cents
     )
     .unwrap();
+    telemetry_end(telemetry, Some(&mut out))?;
     Ok(out)
 }
 
@@ -206,6 +243,7 @@ fn compare_cmd(args: &Args) -> Result<String, CliError> {
         .ok_or_else(|| CliError("compare requires --dataset".into()))?;
     let config = campaign_config(args, name)?;
     let ds = dataset_by_name(name, config.seed)?;
+    let telemetry = telemetry_begin(args);
     let mut out = String::new();
     writeln!(
         out,
@@ -227,6 +265,7 @@ fn compare_cmd(args: &Args) -> Result<String, CliError> {
         )
         .unwrap();
     }
+    telemetry_end(telemetry, Some(&mut out))?;
     Ok(out)
 }
 
@@ -334,6 +373,46 @@ mod tests {
         let out = run_line("quals --dataset table1 --q 3").unwrap();
         assert!(out.contains("3 qualification tasks"));
         assert!(out.contains("InfQF"));
+    }
+
+    #[test]
+    fn campaign_telemetry_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join("icrowd_cli_telemetry_test.jsonl");
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = run_line(&format!(
+            "campaign --dataset table1 --approach icrowd --q 3 --telemetry {path_str}"
+        ))
+        .unwrap();
+        assert!(out.contains("telemetry summary"), "{out}");
+        assert!(out.contains("telemetry written to"), "{out}");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut span_names = Vec::new();
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("every line parses");
+            if v["type"] == "span" {
+                assert!(v["count"].as_u64().unwrap() > 0);
+                assert!(v["total_ns"].as_u64().is_some());
+                assert!(v["p50_ns"].as_u64().is_some());
+                assert!(v["p99_ns"].as_u64().is_some());
+                span_names.push(v["name"].as_str().unwrap().to_owned());
+            }
+        }
+        for expected in [
+            "index.build",
+            "ppr.solve",
+            "assign.loop",
+            "estimator.refresh",
+        ] {
+            assert!(
+                span_names.iter().any(|n| n == expected),
+                "missing span {expected} in {span_names:?}"
+            );
+        }
+        // Marketplace lifecycle events are bridged into the same sink.
+        assert!(text.contains("\"type\":\"counter\""), "{text}");
+        assert!(text.contains("market.answer_submitted"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

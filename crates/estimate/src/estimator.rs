@@ -233,6 +233,7 @@ impl AccuracyEstimator {
     /// `votes` must be the full vote set of `task` and `consensus` its
     /// consensus answer.
     pub fn record_completed_task(&mut self, task: TaskId, votes: &[Vote], consensus: Answer) {
+        icrowd_obs::counter_add("estimator.completed_tasks", 1);
         // Gather current estimates first (immutable pass), then update.
         let mut match_accs = Vec::new();
         let mut mismatch_accs = Vec::new();
@@ -275,6 +276,7 @@ impl AccuracyEstimator {
         task: TaskId,
         q: f64,
     ) {
+        let _span = icrowd_obs::span!("estimator.refresh");
         let old = state.observed.insert(task.0, q);
         // Replace, don't double-count: withdraw the previous observation's
         // contribution (accumulators and evidence) before adding the new
@@ -290,11 +292,17 @@ impl AccuracyEstimator {
         // the delta's support instead of rebuilt.
         match &mut state.cache {
             Some(cache) if state.cache_baseline == baseline => {
+                icrowd_obs::counter_add("estimator.cache_patch", 1);
                 for (j, _) in index.vector(task).iter() {
                     cache[j.index()] = Self::cell_estimate(mode, baseline, state.accum.get(&j.0));
                 }
             }
-            cache => *cache = None,
+            cache => {
+                if cache.is_some() {
+                    icrowd_obs::counter_add("estimator.cache_drop", 1);
+                }
+                *cache = None;
+            }
         }
     }
 
@@ -400,8 +408,12 @@ impl AccuracyEstimator {
         let num_tasks = self.index.num_tasks();
         let state = &mut self.workers[worker.index()];
         if state.cache.is_none() {
+            let _span = icrowd_obs::span!("estimator.rebuild");
+            icrowd_obs::counter_add("estimator.cache_rebuild", 1);
             state.cache = Some(Self::compute_incremental(num_tasks, state, baseline, mode));
             state.cache_baseline = baseline;
+        } else {
+            icrowd_obs::counter_add("estimator.cache_hit", 1);
         }
         state.cache.as_deref().expect("cache just filled")
     }

@@ -42,6 +42,7 @@ impl LinearityIndex {
     /// vector is solved from the same immutable graph and stored at its
     /// task's slot regardless of which thread claimed it.
     pub fn build(graph: &SimilarityGraph, alpha: f64, config: &PprConfig) -> Self {
+        let _span = icrowd_obs::span!("index.build");
         let vectors = par_map_indexed(graph.num_tasks(), config.threads, |i| {
             let q = SparseTaskVector::unit(TaskId(i as u32));
             let mut p = sparse_ppr(graph, &q, alpha, config.index_epsilon, config);
@@ -52,7 +53,12 @@ impl LinearityIndex {
             p.shrink_to_fit();
             p
         });
-        Self { alpha, vectors }
+        let built = Self { alpha, vectors };
+        if icrowd_obs::is_enabled() {
+            icrowd_obs::gauge_set("index.tasks", built.num_tasks() as f64);
+            icrowd_obs::gauge_set("index.total_nnz", built.total_nnz() as f64);
+        }
+        built
     }
 
     /// The `alpha` the index was built with.

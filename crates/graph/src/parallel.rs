@@ -42,22 +42,41 @@ where
 {
     let threads = resolve_threads(threads).min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let out: Vec<T> = (0..n).map(f).collect();
+        if icrowd_obs::is_enabled() && n > 0 {
+            icrowd_obs::gauge_set("par_map.threads", 1.0);
+            icrowd_obs::counter_add("par_map.thread0.items", n as u64);
+        }
+        return out;
     }
     let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        let (slots, cursor, f) = (&slots, &cursor, &f);
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut claimed = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let filled = slots[i].set(f(i)).is_ok();
+                    debug_assert!(filled, "slot {i} claimed twice");
+                    claimed += 1;
                 }
-                let filled = slots[i].set(f(i)).is_ok();
-                debug_assert!(filled, "slot {i} claimed twice");
+                // Per-thread utilization: how evenly the atomic-cursor
+                // schedule spread the items (name built only when the
+                // telemetry sink is live — `format!` allocates).
+                if icrowd_obs::is_enabled() && claimed > 0 {
+                    icrowd_obs::counter_add(&format!("par_map.thread{t}.items"), claimed);
+                }
             });
         }
     });
+    if icrowd_obs::is_enabled() {
+        icrowd_obs::gauge_set("par_map.threads", threads as f64);
+    }
     slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("every slot claimed exactly once"))

@@ -76,6 +76,7 @@ pub fn sparse_ppr(
     config: &PprConfig,
 ) -> SparseTaskVector {
     assert!(alpha > 0.0, "alpha must be positive");
+    let _span = icrowd_obs::span!("ppr.solve");
     let damping = 1.0 / (1.0 + alpha);
     let restart = alpha / (1.0 + alpha);
     // Iterating past the truncation threshold is wasted work: changes
@@ -88,7 +89,9 @@ pub fn sparse_ppr(
     // the solver's allocator traffic.
     let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(p.nnz().saturating_mul(4).max(q.nnz()));
     let mut next = SparseTaskVector::new();
+    let mut iterations = 0u64;
     for _ in 0..config.max_iterations {
+        iterations += 1;
         // next = damping * (p S') + restart * q, built sparsely.
         pairs.clear();
         for (i, v) in p.iter() {
@@ -110,6 +113,8 @@ pub fn sparse_ppr(
             break;
         }
     }
+    icrowd_obs::counter_add("ppr.solves", 1);
+    icrowd_obs::counter_add("ppr.iterations", iterations);
     p
 }
 

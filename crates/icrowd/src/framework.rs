@@ -160,8 +160,10 @@ impl ICrowdBuilder {
     /// Panics if the configuration is invalid or a selected
     /// qualification microtask lacks ground truth.
     pub fn build(self) -> ICrowd {
+        let _span = icrowd_obs::span!("framework.build");
         self.config.validate().expect("invalid configuration");
         let graph = self.graph.unwrap_or_else(|| {
+            let _span = icrowd_obs::span!("graph.build");
             let metric = CosineTfIdf::new(&self.tasks, &Tokenizer::new());
             let mut builder = icrowd_graph::GraphBuilder::new(self.config.similarity_threshold)
                 .with_threads(self.config.ppr.threads);
@@ -172,6 +174,7 @@ impl ICrowdBuilder {
         });
         let estimator = AccuracyEstimator::new(graph, self.config.clone(), self.mode);
         let qualification = self.qualification.unwrap_or_else(|| {
+            let _span = icrowd_obs::span!("qualification.select");
             icrowd_assign::select_qualification_influence(
                 estimator.index(),
                 self.config.warmup.num_qualification,
@@ -562,6 +565,7 @@ impl ICrowd {
         let pick = performance_test_assignment(&mut self.estimator, worker, &test_candidates);
         if pick.is_some() {
             self.test_assignments += 1;
+            icrowd_obs::counter_add("assign.test", 1);
         }
         pick
     }
@@ -607,16 +611,19 @@ impl ICrowd {
 
 impl ExternalQuestionServer for ICrowd {
     fn request_task(&mut self, external: &str, now: Tick) -> Option<TaskId> {
+        let _span = icrowd_obs::span!("assign.loop");
         let worker = self.worker_id(external, now);
         self.activity.touch(worker, now);
         if self.activity.record(worker).is_some_and(|r| r.rejected) {
             self.declined_requests += 1;
+            icrowd_obs::counter_add("assign.rejected_worker", 1);
             return None;
         }
         self.purge_stale_inflight(now);
 
         // Idempotent re-request: hand back the task already in flight.
         if let Some((task, _)) = self.in_flight[worker.index()] {
+            icrowd_obs::counter_add("assign.repeat", 1);
             return Some(task);
         }
 
@@ -624,6 +631,7 @@ impl ExternalQuestionServer for ICrowd {
         if self.warmup.in_warmup(worker) {
             let task = self.warmup.next_task(worker).expect("in_warmup checked");
             self.mark_in_flight(worker, task, AssignmentKind::Warmup);
+            icrowd_obs::counter_add("assign.warmup", 1);
             return Some(task);
         }
 
@@ -634,16 +642,19 @@ impl ExternalQuestionServer for ICrowd {
         match assigned {
             Some(task) => {
                 self.mark_in_flight(worker, task, AssignmentKind::Regular);
+                icrowd_obs::counter_add("assign.issued", 1);
                 Some(task)
             }
             None => {
                 self.declined_requests += 1;
+                icrowd_obs::counter_add("assign.declined", 1);
                 None
             }
         }
     }
 
     fn submit_answer(&mut self, external: &str, task: TaskId, answer: Answer, now: Tick) {
+        let _span = icrowd_obs::span!("answer.submit");
         let worker = self.worker_id(external, now);
         self.activity.touch(worker, now);
 
@@ -696,11 +707,13 @@ impl ExternalQuestionServer for ICrowd {
                                     if conf >= tau {
                                         self.consensus.preset(task, ans);
                                         self.early_stops += 1;
+                                        icrowd_obs::counter_add("consensus.early_stop", 1);
                                     }
                                 }
                             }
                         }
                         if self.consensus.is_completed(task) {
+                            icrowd_obs::counter_add("consensus.completed", 1);
                             self.open.remove(&task.0);
                             if self.strategy != AssignStrategy::QfOnly {
                                 let consensus_ans = self

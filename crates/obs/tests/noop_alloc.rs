@@ -1,0 +1,62 @@
+//! The disabled telemetry path must be allocation-free: the assignment
+//! hot loop runs `span!` + `counter_add` per request, and a campaign
+//! issues hundreds of thousands of requests with telemetry off.
+//!
+//! This file installs a counting global allocator and must therefore be
+//! an integration test (its own process) with exactly one `#[test]`, so
+//! no sibling test can allocate concurrently and muddy the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_telemetry_allocates_nothing_per_span() {
+    icrowd_obs::disable();
+
+    // Warm up any lazy statics outside the measured window.
+    {
+        let _s = icrowd_obs::span!("warmup");
+        icrowd_obs::counter_add("warmup", 1);
+        icrowd_obs::gauge_set("warmup", 0.0);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..100_000u64 {
+        let _s = icrowd_obs::span!("assign.loop");
+        icrowd_obs::counter_add("assign.issued", 1);
+        icrowd_obs::gauge_set("assign.queue_depth", i as f64);
+        icrowd_obs::record_span_ns("assign.loop", i);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span/counter/gauge path allocated {} times over 100k iterations",
+        after - before
+    );
+    assert!(!icrowd_obs::is_enabled());
+}

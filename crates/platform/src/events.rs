@@ -75,6 +75,19 @@ pub enum MarketEvent {
 }
 
 impl MarketEvent {
+    /// A stable kebab-ish name for the variant, used as the telemetry
+    /// counter / event key (`market.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MarketEvent::HitAccepted { .. } => "hit_accepted",
+            MarketEvent::TaskAssigned { .. } => "task_assigned",
+            MarketEvent::RequestDeclined { .. } => "request_declined",
+            MarketEvent::AnswerSubmitted { .. } => "answer_submitted",
+            MarketEvent::HitSubmitted { .. } => "hit_submitted",
+            MarketEvent::HitAbandoned { .. } => "hit_abandoned",
+        }
+    }
+
     /// The event timestamp.
     pub fn at(&self) -> Tick {
         match self {
@@ -112,7 +125,8 @@ impl EventLog {
         Self::default()
     }
 
-    /// Appends an event.
+    /// Appends an event, tallying the HIT-lifecycle transition in the
+    /// telemetry sink (no-op when telemetry is disabled).
     pub fn push(&mut self, event: MarketEvent) {
         debug_assert!(
             self.events
@@ -120,6 +134,9 @@ impl EventLog {
                 .is_none_or(|last| last.at() <= event.at()),
             "events must arrive in tick order"
         );
+        if icrowd_obs::is_enabled() {
+            icrowd_obs::counter_add(&format!("market.{}", event.kind()), 1);
+        }
         self.events.push(event);
     }
 
@@ -158,6 +175,19 @@ impl EventLog {
             .map(serde_json::from_str)
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { events })
+    }
+
+    /// Bridges every logged event into the `icrowd-obs` sink as a typed
+    /// JSON event (no-op when telemetry is disabled), so marketplace
+    /// history lands in the same JSONL export as spans and counters.
+    pub fn export_to_obs(&self) {
+        if !icrowd_obs::is_enabled() {
+            return;
+        }
+        for e in &self.events {
+            let payload = serde_json::to_string(e).expect("events serialize");
+            icrowd_obs::event_json(&format!("market.{}", e.kind()), &payload);
+        }
     }
 }
 
@@ -229,5 +259,126 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(EventLog::from_json_lines("not json").is_err());
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let kinds = [
+            MarketEvent::HitAccepted {
+                at: Tick(0),
+                worker: String::new(),
+                hit: HitId(0),
+            }
+            .kind(),
+            MarketEvent::TaskAssigned {
+                at: Tick(0),
+                worker: String::new(),
+                task: TaskId(0),
+            }
+            .kind(),
+            MarketEvent::RequestDeclined {
+                at: Tick(0),
+                worker: String::new(),
+            }
+            .kind(),
+            MarketEvent::AnswerSubmitted {
+                at: Tick(0),
+                worker: String::new(),
+                task: TaskId(0),
+                answer: Answer::YES,
+            }
+            .kind(),
+            MarketEvent::HitSubmitted {
+                at: Tick(0),
+                worker: String::new(),
+                hit: HitId(0),
+                reward_cents: 0,
+            }
+            .kind(),
+            MarketEvent::HitAbandoned {
+                at: Tick(0),
+                worker: String::new(),
+                hit: HitId(0),
+            }
+            .kind(),
+        ];
+        let distinct: std::collections::BTreeSet<&str> = kinds.iter().copied().collect();
+        assert_eq!(distinct.len(), kinds.len());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Worker ids exercising the serializer's escaping: quotes,
+        /// backslashes, control characters, and non-ASCII.
+        fn arb_worker() -> impl Strategy<Value = String> {
+            "[a-zA-Z0-9 _.\"\\\n\té漢-]{0,12}"
+        }
+
+        /// One arbitrary event of any variant. Extreme ticks included:
+        /// `Tick` is `u64` and must survive JSON untruncated.
+        fn arb_event() -> impl Strategy<Value = MarketEvent> {
+            (
+                (0u8..6, 0u64..=u64::MAX),
+                (arb_worker(), 0u32..=u32::MAX),
+                (0u32..=u32::MAX, 0u8..=255),
+            )
+                .prop_map(|((sel, at), (worker, id), (reward, ans))| {
+                    let at = Tick(at);
+                    match sel {
+                        0 => MarketEvent::HitAccepted {
+                            at,
+                            worker,
+                            hit: HitId(id),
+                        },
+                        1 => MarketEvent::TaskAssigned {
+                            at,
+                            worker,
+                            task: TaskId(id),
+                        },
+                        2 => MarketEvent::RequestDeclined { at, worker },
+                        3 => MarketEvent::AnswerSubmitted {
+                            at,
+                            worker,
+                            task: TaskId(id),
+                            answer: Answer(ans),
+                        },
+                        4 => MarketEvent::HitSubmitted {
+                            at,
+                            worker,
+                            hit: HitId(id),
+                            reward_cents: reward,
+                        },
+                        _ => MarketEvent::HitAbandoned {
+                            at,
+                            worker,
+                            hit: HitId(id),
+                        },
+                    }
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Every `MarketEvent` variant — with hostile worker ids and
+            /// extreme numeric fields — survives the JSON-lines round
+            /// trip bit-for-bit.
+            #[test]
+            fn json_lines_round_trip_all_variants(
+                mut events in proptest::collection::vec(arb_event(), 0..24),
+            ) {
+                // `push` asserts tick monotonicity; order like a real run.
+                events.sort_by_key(MarketEvent::at);
+                let mut log = EventLog::new();
+                for e in events {
+                    log.push(e);
+                }
+                let text = log.to_json_lines();
+                let parsed = EventLog::from_json_lines(&text).unwrap();
+                prop_assert_eq!(parsed.events(), log.events());
+            }
+        }
     }
 }

@@ -144,6 +144,7 @@ impl Marketplace {
         server: &mut dyn ExternalQuestionServer,
         workers: Vec<(WorkerScript, Box<dyn WorkerBehavior + 'a>)>,
     ) -> MarketOutcome {
+        let _span = icrowd_obs::span!("market.run");
         let mut pool = HitPool::publish(
             self.config.num_hits,
             self.config.assignments_per_hit,
@@ -276,6 +277,7 @@ impl Marketplace {
             );
         }
 
+        events.export_to_obs();
         MarketOutcome {
             ledger,
             events,

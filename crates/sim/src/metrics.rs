@@ -134,4 +134,72 @@ mod tests {
         };
         assert_eq!(d.accuracy(), 0.0);
     }
+
+    #[test]
+    fn all_tasks_excluded_scores_zero_not_nan() {
+        // Degenerate campaign where the qualification set is the whole
+        // dataset: nothing is measured, and the overall accuracy must be
+        // a well-defined 0.0 (not 0/0) with empty per-domain rows.
+        let ds = table1();
+        let mut results = HashMap::new();
+        for t in ds.tasks.iter() {
+            results.insert(t.id, t.ground_truth.unwrap());
+        }
+        let excluded: HashSet<TaskId> = ds.tasks.iter().map(|t| t.id).collect();
+        let (overall, per) = evaluate(&ds, &results, &excluded);
+        assert_eq!(overall, 0.0);
+        assert!(overall.is_finite());
+        assert_eq!(per.len(), ds.domains.len(), "domains still enumerated");
+        for d in &per {
+            assert_eq!((d.correct, d.total), (0, 0), "{}", d.domain);
+            assert_eq!(d.accuracy(), 0.0);
+        }
+    }
+
+    #[test]
+    fn fully_excluded_domain_reports_empty_row() {
+        // Excluding every task of one domain leaves that domain's row at
+        // 0/0 while other domains score normally — per-domain rows stay
+        // aligned with `dataset.domains` order.
+        let ds = table1();
+        let first_domain = ds.tasks.iter().next().unwrap().domain.unwrap();
+        let mut results = HashMap::new();
+        let mut excluded = HashSet::new();
+        for t in ds.tasks.iter() {
+            if t.domain == Some(first_domain) {
+                excluded.insert(t.id);
+            } else {
+                results.insert(t.id, t.ground_truth.unwrap());
+            }
+        }
+        let (overall, per) = evaluate(&ds, &results, &excluded);
+        assert_eq!(overall, 1.0, "remaining domains answered perfectly");
+        let empty = &per[first_domain.index()];
+        assert_eq!((empty.correct, empty.total), (0, 0));
+        assert_eq!(empty.accuracy(), 0.0);
+        assert!(per
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != first_domain.index())
+            .all(|(_, d)| d.total > 0 && d.correct == d.total));
+    }
+
+    #[test]
+    fn partial_predictions_count_missing_as_wrong() {
+        // Predict correctly for an arbitrary half of the tasks and omit
+        // the rest: accuracy is exactly the covered fraction.
+        let ds = table1();
+        let mut results = HashMap::new();
+        for (i, t) in ds.tasks.iter().enumerate() {
+            if i % 2 == 0 {
+                results.insert(t.id, t.ground_truth.unwrap());
+            }
+        }
+        let covered = results.len();
+        let n = ds.tasks.len();
+        let (overall, per) = evaluate(&ds, &results, &HashSet::new());
+        assert!((overall - covered as f64 / n as f64).abs() < 1e-12);
+        let measured: usize = per.iter().map(|d| d.total).sum();
+        assert_eq!(measured, n, "unpredicted tasks still measured");
+    }
 }

@@ -1,0 +1,81 @@
+//! Guard: library crates never write to stdout/stderr unconditionally.
+//!
+//! Diagnostics belong in the `icrowd-obs` sink (spans, counters,
+//! events), not interleaved with caller output — a library `println!`
+//! corrupts the CLI's `--json` mode and every bench bin's table. Only
+//! binaries (`cli/src/main.rs`, the bench bins) and test code may print.
+//!
+//! The check is textual on purpose: it catches regressions at review
+//! speed without build-system hooks, and the macro names are distinctive
+//! enough that false positives are limited to doc prose (scanned lines
+//! starting with `//` are skipped).
+
+use std::path::{Path, PathBuf};
+
+/// Library source trees that must stay print-free. `cli/src` is
+/// included (the lib builds the output string; only `main.rs` prints);
+/// `bench` is excluded wholesale — it is a reporting harness.
+const LIB_SRC_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/text/src",
+    "crates/graph/src",
+    "crates/estimate/src",
+    "crates/assign/src",
+    "crates/baselines/src",
+    "crates/platform/src",
+    "crates/sim/src",
+    "crates/icrowd/src",
+    "crates/obs/src",
+    "crates/cli/src",
+];
+
+const FORBIDDEN: &[&str] = &["println!", "print!", "eprintln!", "eprint!", "dbg!"];
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn library_crates_do_not_print() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for dir in LIB_SRC_DIRS {
+        let dir = root.join(dir);
+        assert!(dir.is_dir(), "expected source dir {}", dir.display());
+        rust_files(&dir, &mut files);
+    }
+    assert!(files.len() > 30, "scan found too few files — wrong root?");
+
+    let mut offenders = Vec::new();
+    for file in &files {
+        if file.ends_with("cli/src/main.rs") {
+            continue; // the one true printer
+        }
+        let text = std::fs::read_to_string(file).expect("readable source");
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("//") {
+                continue; // doc/comment prose may mention the macros
+            }
+            // `write!`/`writeln!` to a String or file are fine; the
+            // forbidden names don't collide with them textually.
+            for forbidden in FORBIDDEN {
+                if trimmed.contains(forbidden) {
+                    offenders.push(format!("{}:{}: {}", file.display(), lineno + 1, trimmed));
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "library crates must not print; route diagnostics through icrowd-obs:\n{}",
+        offenders.join("\n")
+    );
+}

@@ -110,6 +110,11 @@ macro_rules! int_range_strategy {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
                 let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width 64-bit range: the +1 wrapped to zero and
+                    // every representable value is admissible.
+                    return rng.next_u64() as $t;
+                }
                 (lo as i128 + rng.below(span) as i128) as $t
             }
         }

@@ -65,8 +65,7 @@ pub fn greedy_assign(candidates: &[TopWorkerSet]) -> Vec<Assignment> {
         .collect();
     order.sort_by(|a, b| {
         b.average_accuracy()
-            .partial_cmp(&a.average_accuracy())
-            .unwrap()
+            .total_cmp(&a.average_accuracy())
             .then(a.task.cmp(&b.task))
     });
 

@@ -59,7 +59,7 @@ pub fn optimal_assign(candidates: &[TopWorkerSet]) -> Vec<Assignment> {
         .collect();
     // Process high scores first so good incumbents appear early (better
     // pruning).
-    cands.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    cands.sort_by(|a, b| b.score.total_cmp(&a.score));
 
     // Suffix sums of scores: an optimistic bound on what the remaining
     // candidates could still add (ignoring conflicts).

@@ -66,7 +66,7 @@ pub fn top_worker_set(
     remaining: usize,
 ) -> TopWorkerSet {
     let mut workers: Vec<(WorkerId, f64)> = eligible.into_iter().collect();
-    workers.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    workers.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     workers.truncate(remaining);
     TopWorkerSet {
         task,

@@ -72,7 +72,7 @@ impl DawidSkeneFit {
         let (best, _) = p
             .iter()
             .enumerate()
-            .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).unwrap().then(ib.cmp(ia)))?;
+            .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))?;
         Some(Answer(best as u8))
     }
 

@@ -35,7 +35,7 @@ pub fn best_effort_pick(
     eligible
         .iter()
         .map(|&t| (t, accuracy(t)))
-        .max_by(|(ta, a), (tb, b)| a.partial_cmp(b).unwrap().then(tb.cmp(ta)))
+        .max_by(|(ta, a), (tb, b)| a.total_cmp(b).then(tb.cmp(ta)))
         .map(|(t, _)| t)
 }
 

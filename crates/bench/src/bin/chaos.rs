@@ -1,0 +1,195 @@
+//! Chaos sweep — fault-injected marketplace runs against the iCrowd
+//! framework, asserting the accounting invariants that the lease and
+//! rejection machinery exists to protect:
+//!
+//! * every task reaches consensus even with dropped answers, stalled
+//!   workers, duplicate deliveries, late arrivals and a churn spike
+//!   (leases reclaim dead assignments so the task re-enters the pool);
+//! * the books balance: `paid + abandoned + rejected == submitted`
+//!   among answers that reached the server, and total spend equals the
+//!   number of paid HITs times the per-HIT reward;
+//! * no task collects more than `k` votes, no HIT is paid twice;
+//! * a fixed seed replays byte-identically (event-log JSON compared).
+//!
+//! `--smoke` runs only the reference cell (20% drop + 5% stall) plus
+//! the determinism check — the CI `chaos-smoke` job's entry point.
+//! Telemetry is armed by `ICROWD_TELEMETRY` like every other bin.
+
+use icrowd::core::{ICrowdConfig, Tick, WarmupConfig};
+use icrowd::platform::market::{WorkerBehavior, WorkerScript};
+use icrowd::platform::{
+    ChurnSpike, ExternalQuestionServer, FaultConfig, MarketConfig, MarketOutcome, Marketplace,
+};
+use icrowd::{AssignStrategy, ICrowd, ICrowdBuilder};
+use icrowd_sim::datasets::table1;
+
+const SEED: u64 = 20150531;
+const WORKERS: usize = 24;
+
+struct Cell {
+    outcome: MarketOutcome,
+    completed: bool,
+    events_json: String,
+    max_votes: usize,
+}
+
+fn run_cell(drop: f64, stall: f64, seed: u64) -> Cell {
+    let ds = table1();
+    let metric = icrowd::text::JaccardSimilarity::new(
+        &ds.tasks,
+        &icrowd::text::Tokenizer::keeping_stopwords(),
+    );
+    let mut server: ICrowd = ICrowdBuilder::new(ds.tasks.clone())
+        .config(ICrowdConfig {
+            similarity_threshold: 0.4,
+            // Short leases so assignments held by stalled workers are
+            // reclaimed well before the remaining crowd gives up.
+            lease_ticks: Some(12),
+            warmup: WarmupConfig {
+                num_qualification: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .strategy(AssignStrategy::Adapt)
+        .metric(&metric)
+        .build();
+    let market = Marketplace::new(
+        ds.tasks.clone(),
+        MarketConfig {
+            // Patient workers: enough retry headroom to outlive a lease
+            // on a stalled assignment.
+            max_retries: 20,
+            ..Default::default()
+        },
+    );
+    let behaviors: Vec<(WorkerScript, Box<dyn WorkerBehavior>)> = ds
+        .spawn_workers(seed)
+        .into_iter()
+        .cycle()
+        .take(WORKERS)
+        .enumerate()
+        .map(|(i, w)| {
+            (
+                WorkerScript {
+                    arrival: Tick(i as u64 * 2),
+                    max_answers: usize::MAX,
+                    ticks_per_answer: 1,
+                },
+                Box::new(w) as Box<dyn WorkerBehavior>,
+            )
+        })
+        .collect();
+    let faults = FaultConfig {
+        seed,
+        drop_rate: drop,
+        dup_rate: 0.1,
+        late_rate: 0.1,
+        late_max_ticks: 6,
+        stall_rate: stall,
+        churn: vec![ChurnSpike {
+            at: 60,
+            fraction: 0.2,
+        }],
+    };
+    let outcome = market.run_with_faults(&mut server, behaviors, Some(faults));
+    let completed = server.is_complete();
+    let k = ICrowdConfig::default().assignment_size;
+    let max_votes = (0..ds.tasks.len() as u32)
+        .map(|t| server.consensus().votes(icrowd::core::TaskId(t)).len())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_votes <= k,
+        "a task collected {max_votes} votes, more than k = {k}"
+    );
+    let events_json = outcome.events.to_json_lines();
+    Cell {
+        outcome,
+        completed,
+        events_json,
+        max_votes,
+    }
+}
+
+fn assert_invariants(cell: &Cell, drop: f64, stall: f64) {
+    let a = cell.outcome.accounting;
+    assert!(
+        a.balanced(),
+        "accounting out of balance at drop={drop} stall={stall}: {a:?}"
+    );
+    assert_eq!(
+        a.answers_paid + a.answers_abandoned + a.answers_rejected,
+        a.answers_submitted,
+        "paid + abandoned + rejected != submitted at drop={drop} stall={stall}"
+    );
+    let reward = u64::from(MarketConfig::default().reward_cents);
+    assert_eq!(
+        cell.outcome.ledger.total_spend(),
+        cell.outcome.ledger.num_payments() as u64 * reward,
+        "spend != paid HITs x reward at drop={drop} stall={stall}"
+    );
+    assert!(
+        cell.completed,
+        "campaign failed to complete at drop={drop} stall={stall}"
+    );
+}
+
+fn main() {
+    let telemetry = icrowd_bench::telemetry::init_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (drops, stalls): (Vec<f64>, Vec<f64>) = if smoke {
+        (vec![0.2], vec![0.05])
+    } else {
+        (vec![0.0, 0.05, 0.1, 0.2], vec![0.0, 0.02, 0.05])
+    };
+
+    println!("=== Chaos sweep: table1, {WORKERS} workers, seed {SEED} ===");
+    println!(
+        "{:>5} {:>6} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6}",
+        "drop", "stall", "submitted", "accepted", "rejected", "paid", "spend", "votes", "done"
+    );
+    for &drop in &drops {
+        for &stall in &stalls {
+            let cell = run_cell(drop, stall, SEED);
+            assert_invariants(&cell, drop, stall);
+            let a = cell.outcome.accounting;
+            println!(
+                "{:>5.2} {:>6.2} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6}",
+                drop,
+                stall,
+                a.answers_submitted,
+                a.answers_accepted,
+                a.answers_rejected,
+                a.answers_paid,
+                cell.outcome.ledger.total_spend(),
+                cell.max_votes,
+                if cell.completed { "yes" } else { "no" }
+            );
+        }
+    }
+
+    // Determinism: the reference cell replays byte-identically.
+    let a = run_cell(0.2, 0.05, SEED);
+    let b = run_cell(0.2, 0.05, SEED);
+    assert_eq!(
+        a.events_json, b.events_json,
+        "event logs differ between identical chaos runs"
+    );
+    assert_eq!(a.outcome.accounting, b.outcome.accounting);
+    assert_eq!(a.outcome.faults, b.outcome.faults);
+    println!(
+        "\ndeterminism: PASS ({} events byte-identical across reruns)",
+        a.events_json.lines().count()
+    );
+    println!(
+        "faults injected at reference cell: drop {} dup {} late {} stall {} churn {}",
+        a.outcome.faults.drops,
+        a.outcome.faults.dups,
+        a.outcome.faults.lates,
+        a.outcome.faults.stalls,
+        a.outcome.faults.churned
+    );
+    println!("all invariants hold");
+    icrowd_bench::telemetry::finish(telemetry);
+}

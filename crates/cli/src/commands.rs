@@ -33,14 +33,21 @@ fn help_text() -> String {
 
 USAGE:
     icrowd datasets
-    icrowd campaign --dataset <name> [--approach <a>] [--seed N] [--k N] [--json] [--telemetry <path>]
-    icrowd compare  --dataset <name> [--seed N] [--telemetry <path>]
+    icrowd campaign --dataset <name> [--approach <a>] [--seed N] [--k N] [--faults <spec>] [--json] [--telemetry <path>]
+    icrowd compare  --dataset <name> [--seed N] [--faults <spec>] [--telemetry <path>]
     icrowd graph    --dataset <name> [--metric <m>] [--threshold X]
     icrowd quals    --dataset <name> [--q N] [--strategy inf|random]
 
 DATASETS:    yahooqa, item_compare, table1, quiz
 APPROACHES:  icrowd (Adapt), best-effort, qf-only, random-mv, random-em, avgacc-pv
 METRICS:     jaccard, cos-tfidf, cos-topic, edit-distance
+
+FAULTS:      --faults injects marketplace faults, e.g.
+             drop=0.2,stall=0.05,dup=0.1,late=0.1:12,churn=50:0.3,seed=7
+             (drop/dup/stall are rates; late takes an optional :maxticks;
+             churn=TICK:FRACTION may repeat). Runs stay deterministic
+             under a fixed seed; rejected/duplicate answers are counted
+             and never double-paid.
 
 TELEMETRY:   --telemetry <path> records span timings (index.build, ppr.solve,
              assign.loop, estimator.refresh, ...), counters and marketplace
@@ -116,11 +123,19 @@ fn campaign_config(args: &Args, dataset: &str) -> Result<CampaignConfig, CliErro
     icrowd
         .validate()
         .map_err(|e| CliError(format!("invalid configuration: {e}")))?;
+    let faults = args
+        .get("faults")
+        .map(|spec| {
+            icrowd::platform::FaultConfig::parse(spec)
+                .map_err(|e| CliError(format!("invalid --faults spec: {e}")))
+        })
+        .transpose()?;
     Ok(CampaignConfig {
         seed,
         icrowd,
         metric,
         qual,
+        faults,
         ..Default::default()
     })
 }
@@ -195,7 +210,7 @@ fn campaign_cmd(args: &Args) -> Result<String, CliError> {
                 })
             })
             .collect();
-        let v = serde_json::json!({
+        let mut v = serde_json::json!({
             "dataset": r.dataset,
             "approach": r.approach,
             "overall_accuracy": r.overall,
@@ -205,6 +220,36 @@ fn campaign_cmd(args: &Args) -> Result<String, CliError> {
             "gold_tasks": r.gold.len(),
             "elapsed_ms": r.elapsed_ms,
         });
+        // Fault-free output stays byte-identical to the pre-fault CLI;
+        // the extra accounting appears only when faults are requested.
+        if config.faults.is_some() {
+            let a = r.accounting;
+            let f = r.fault_stats;
+            if let serde_json::Value::Object(o) = &mut v {
+                o.push(("completed".into(), serde_json::json!(r.completed)));
+                o.push((
+                    "accounting".into(),
+                    serde_json::json!({
+                        "submitted": a.answers_submitted,
+                        "accepted": a.answers_accepted,
+                        "rejected": a.answers_rejected,
+                        "dropped": a.answers_dropped,
+                        "paid": a.answers_paid,
+                        "abandoned": a.answers_abandoned,
+                    }),
+                ));
+                o.push((
+                    "faults".into(),
+                    serde_json::json!({
+                        "drops": f.drops,
+                        "dups": f.dups,
+                        "lates": f.lates,
+                        "stalls": f.stalls,
+                        "churned": f.churned,
+                    }),
+                ));
+            }
+        }
         return Ok(serde_json::to_string_pretty(&v).expect("serializable") + "\n");
     }
 
@@ -233,6 +278,22 @@ fn campaign_cmd(args: &Args) -> Result<String, CliError> {
         r.answers, r.spend_cents
     )
     .unwrap();
+    if config.faults.is_some() {
+        let f = r.fault_stats;
+        let a = r.accounting;
+        writeln!(
+            out,
+            "faults: drop {} dup {} late {} stall {} churn {}",
+            f.drops, f.dups, f.lates, f.stalls, f.churned
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "answers submitted: {}   accepted: {}   rejected: {}   completed: {}",
+            a.answers_submitted, a.answers_accepted, a.answers_rejected, r.completed
+        )
+        .unwrap();
+    }
     telemetry_end(telemetry, Some(&mut out))?;
     Ok(out)
 }
@@ -244,13 +305,23 @@ fn compare_cmd(args: &Args) -> Result<String, CliError> {
     let config = campaign_config(args, name)?;
     let ds = dataset_by_name(name, config.seed)?;
     let telemetry = telemetry_begin(args);
+    let faulty = config.faults.is_some();
     let mut out = String::new();
-    writeln!(
-        out,
-        "{:<12} {:>9} {:>9} {:>8}",
-        "approach", "overall", "answers", "cents"
-    )
-    .unwrap();
+    if faulty {
+        writeln!(
+            out,
+            "{:<12} {:>9} {:>9} {:>8} {:>9} {:>6}",
+            "approach", "overall", "answers", "cents", "rejected", "done"
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "{:<12} {:>9} {:>9} {:>8}",
+            "approach", "overall", "answers", "cents"
+        )
+        .unwrap();
+    }
     for approach in [
         Approach::RandomMV,
         Approach::RandomEM,
@@ -258,12 +329,26 @@ fn compare_cmd(args: &Args) -> Result<String, CliError> {
         Approach::ICrowd(AssignStrategy::Adapt),
     ] {
         let r = run_campaign(&ds, approach, &config);
-        writeln!(
-            out,
-            "{:<12} {:>9.3} {:>9} {:>8}",
-            r.approach, r.overall, r.answers, r.spend_cents
-        )
-        .unwrap();
+        if faulty {
+            writeln!(
+                out,
+                "{:<12} {:>9.3} {:>9} {:>8} {:>9} {:>6}",
+                r.approach,
+                r.overall,
+                r.answers,
+                r.spend_cents,
+                r.accounting.answers_rejected,
+                if r.completed { "yes" } else { "no" }
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "{:<12} {:>9.3} {:>9} {:>8}",
+                r.approach, r.overall, r.answers, r.spend_cents
+            )
+            .unwrap();
+        }
     }
     telemetry_end(telemetry, Some(&mut out))?;
     Ok(out)
@@ -416,6 +501,59 @@ mod tests {
     }
 
     #[test]
+    fn campaign_with_faults_reports_accounting() {
+        let out = run_line(
+            "campaign --dataset table1 --approach icrowd --q 3 --faults drop=0.2,stall=0.05,seed=7",
+        )
+        .unwrap();
+        assert!(out.contains("faults: drop"), "{out}");
+        assert!(out.contains("rejected:"), "{out}");
+        // Deterministic under a fixed seed.
+        let again = run_line(
+            "campaign --dataset table1 --approach icrowd --q 3 --faults drop=0.2,stall=0.05,seed=7",
+        )
+        .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn campaign_json_with_faults_carries_accounting() {
+        let out = run_line(
+            "campaign --dataset table1 --approach icrowd --q 3 --faults dup=0.3,seed=1 --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let a = &v["accounting"];
+        assert_eq!(
+            a["accepted"].as_u64().unwrap() + a["rejected"].as_u64().unwrap(),
+            a["submitted"].as_u64().unwrap()
+        );
+        assert!(v["faults"]["dups"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn zero_fault_spec_output_matches_fault_free_run() {
+        // An all-zero fault plan must not perturb the campaign itself —
+        // only the extra reporting lines differ.
+        let plain = run_line("campaign --dataset table1 --approach icrowd --q 3").unwrap();
+        let zero =
+            run_line("campaign --dataset table1 --approach icrowd --q 3 --faults seed=9").unwrap();
+        let stripped: String = zero
+            .lines()
+            .filter(|l| !l.starts_with("faults:") && !l.starts_with("answers submitted:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(plain, stripped);
+    }
+
+    #[test]
+    fn compare_with_faults_adds_rejection_column() {
+        let out = run_line("compare --dataset table1 --q 3 --faults drop=0.1,seed=3").unwrap();
+        assert!(out.contains("rejected"), "{out}");
+        assert!(out.contains("done"), "{out}");
+    }
+
+    #[test]
     fn errors_are_user_facing() {
         assert!(run_line("nonsense")
             .unwrap_err()
@@ -434,5 +572,13 @@ mod tests {
             .unwrap_err()
             .0
             .contains("invalid configuration"));
+        assert!(run_line("campaign --dataset table1 --faults drop=2.0")
+            .unwrap_err()
+            .0
+            .contains("invalid --faults"));
+        assert!(run_line("campaign --dataset table1 --faults wobble=0.1")
+            .unwrap_err()
+            .0
+            .contains("invalid --faults"));
     }
 }

@@ -80,6 +80,11 @@ pub struct ICrowdConfig {
     pub max_neighbors: Option<usize>,
     /// Activity window in platform ticks (Section 4.1, Step 1).
     pub activity_window: u64,
+    /// Assignment lease duration in ticks: an assignment not answered
+    /// within this window is reclaimed — capacity returns to the worker
+    /// and the task re-enters the candidate pool. `None` (the default)
+    /// uses `activity_window`, matching the pre-lease abandon behaviour.
+    pub lease_ticks: Option<u64>,
     /// Default accuracy assumed for a worker with no signal at all.
     pub default_accuracy: f64,
     /// Budget-saving extension (beyond the paper; related to
@@ -103,6 +108,7 @@ impl Default for ICrowdConfig {
             similarity_threshold: 0.8,
             max_neighbors: None,
             activity_window: 30,
+            lease_ticks: None,
             default_accuracy: 0.5,
             early_stop_confidence: None,
             warmup: WarmupConfig::default(),
@@ -149,6 +155,9 @@ impl ICrowdConfig {
         }
         if self.max_neighbors == Some(0) {
             return bad("max_neighbors, when set, must be at least 1");
+        }
+        if self.lease_ticks == Some(0) {
+            return bad("lease_ticks, when set, must be at least 1");
         }
         if let Some(c) = self.early_stop_confidence {
             if !(c > 0.5 && c <= 1.0) {
@@ -225,6 +234,10 @@ mod tests {
             },
             ICrowdConfig {
                 max_neighbors: Some(0),
+                ..base.clone()
+            },
+            ICrowdConfig {
+                lease_ticks: Some(0),
                 ..base.clone()
             },
             ICrowdConfig {

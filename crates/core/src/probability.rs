@@ -126,7 +126,7 @@ pub fn vote_posterior(
     let (best, &best_lp) = logp
         .iter()
         .enumerate()
-        .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).unwrap().then(ib.cmp(ia)))?;
+        .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))?;
     Some((crate::answer::Answer(best as u8), (best_lp - m).exp() / z))
 }
 

@@ -91,7 +91,7 @@ pub fn weighted_majority_vote(
     let (winner, &support) = mass
         .iter()
         .enumerate()
-        .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).unwrap().then(ib.cmp(ia)))
+        .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
         .expect("num_choices >= 1");
     let tied = mass
         .iter()

@@ -159,7 +159,7 @@ fn cap_neighbors(
     let mut keep = vec![false; edges.len()];
     for list in &mut incident {
         // Strongest first; deterministic tie-break on edge index.
-        list.sort_unstable_by(|x, y| y.0.partial_cmp(&x.0).unwrap().then(x.1.cmp(&y.1)));
+        list.sort_unstable_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
         for &(_, idx) in list.iter().take(m) {
             keep[idx] = true;
         }

@@ -87,7 +87,7 @@ impl SimilarityGraph {
                 .zip(&weight[lo..hi])
                 .map(|(&j, &s)| (j, s))
                 .collect();
-            row.sort_unstable_by(|x, y| x.0.cmp(&y.0).then(y.1.partial_cmp(&x.1).unwrap()));
+            row.sort_unstable_by(|x, y| x.0.cmp(&y.0).then(y.1.total_cmp(&x.1)));
             row.dedup_by_key(|e| e.0);
             for (j, s) in row {
                 col[write] = j;

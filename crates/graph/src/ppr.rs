@@ -167,12 +167,7 @@ pub fn closed_form_oracle(graph: &SimilarityGraph, q: &[f64], alpha: f64) -> Vec
     // Gaussian elimination with partial pivoting.
     for col in 0..n {
         let pivot = (col..n)
-            .max_by(|&x, &y| {
-                a[x * n + col]
-                    .abs()
-                    .partial_cmp(&a[y * n + col].abs())
-                    .unwrap()
-            })
+            .max_by(|&x, &y| a[x * n + col].abs().total_cmp(&a[y * n + col].abs()))
             .unwrap();
         if a[pivot * n + col].abs() < 1e-14 {
             continue;

@@ -41,7 +41,8 @@ use icrowd_core::voting::ConsensusState;
 use icrowd_core::worker::{ActivityTracker, Tick, WorkerId};
 use icrowd_estimate::{AccuracyEstimator, EstimationMode};
 use icrowd_graph::{InfluenceScratch, SimilarityGraph};
-use icrowd_platform::market::ExternalQuestionServer;
+use icrowd_platform::events::RejectReason;
+use icrowd_platform::market::{ExternalQuestionServer, SubmitOutcome};
 use icrowd_text::{CosineTfIdf, TaskSimilarity, Tokenizer};
 
 use crate::warmup::WarmUp;
@@ -74,6 +75,17 @@ impl AssignStrategy {
 enum AssignmentKind {
     Warmup,
     Regular,
+}
+
+/// An outstanding assignment: the task a worker holds, under a deadline.
+/// An assignment not answered by its deadline is reclaimed — the task's
+/// capacity returns and it re-enters the candidate pool — and a late
+/// answer for it is rejected rather than recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Lease {
+    task: TaskId,
+    kind: AssignmentKind,
+    deadline: Tick,
 }
 
 /// Builder for [`ICrowd`].
@@ -203,6 +215,7 @@ impl ICrowdBuilder {
             tasks: self.tasks,
             config: self.config,
             in_flight: Vec::new(),
+            expired_last: Vec::new(),
             inflight_workers: Vec::new(),
             open,
             open_cursor: 0,
@@ -211,6 +224,8 @@ impl ICrowdBuilder {
             test_assignments: 0,
             early_stops: 0,
             declined_requests: 0,
+            leases_expired: 0,
+            answers_rejected: 0,
         }
     }
 }
@@ -224,8 +239,12 @@ pub struct ICrowd {
     consensus: ConsensusState,
     activity: ActivityTracker,
     warmup: WarmUp,
-    /// In-flight assignment per worker index.
-    in_flight: Vec<Option<(TaskId, AssignmentKind)>>,
+    /// In-flight assignment lease per worker index.
+    in_flight: Vec<Option<Lease>>,
+    /// The task of each worker's most recently expired lease, kept so a
+    /// late answer can be classified as `LeaseExpired` (not merely
+    /// `NotAssigned`) when it finally arrives.
+    expired_last: Vec<Option<TaskId>>,
     /// Workers currently holding each task (regular assignments only).
     inflight_workers: Vec<Vec<WorkerId>>,
     /// Open (not globally completed) task ids.
@@ -244,6 +263,10 @@ pub struct ICrowd {
     early_stops: u64,
     /// Requests the server declined.
     declined_requests: u64,
+    /// Assignment leases that expired and were reclaimed.
+    leases_expired: u64,
+    /// Submitted answers the server rejected.
+    answers_rejected: u64,
 }
 
 impl ICrowd {
@@ -346,6 +369,30 @@ impl ICrowd {
         self.declined_requests
     }
 
+    /// Assignment leases that expired and were reclaimed so far.
+    pub fn leases_expired(&self) -> u64 {
+        self.leases_expired
+    }
+
+    /// Submitted answers rejected so far (duplicate, stale, unsolicited).
+    pub fn answers_rejected(&self) -> u64 {
+        self.answers_rejected
+    }
+
+    /// The lease duration in force.
+    fn lease_len(&self) -> u64 {
+        self.config
+            .lease_ticks
+            .unwrap_or(self.config.activity_window)
+    }
+
+    /// Counts and reports a rejected submission.
+    fn reject(&mut self, reason: RejectReason) -> SubmitOutcome {
+        self.answers_rejected += 1;
+        icrowd_obs::counter_add(&format!("answer.rejected.{}", reason.name()), 1);
+        SubmitOutcome::Rejected(reason)
+    }
+
     /// The dense worker id for an external id, registering new workers.
     fn worker_id(&mut self, external: &str, now: Tick) -> WorkerId {
         if let Some(w) = self.activity.find_external(external) {
@@ -359,6 +406,7 @@ impl ICrowd {
     fn grow_worker_state(&mut self, w: WorkerId) {
         if self.in_flight.len() <= w.index() {
             self.in_flight.resize(w.index() + 1, None);
+            self.expired_last.resize(w.index() + 1, None);
             self.regular_assignments.resize(w.index() + 1, 0);
         }
         self.estimator.register_worker(w);
@@ -390,16 +438,23 @@ impl ICrowd {
             .saturating_sub(self.capacity_holders(task).len())
     }
 
-    /// Drops in-flight assignments of workers that went inactive, so
-    /// abandoned tasks regain capacity.
-    fn purge_stale_inflight(&mut self, now: Tick) {
+    /// Reclaims expired assignment leases: the holder's capacity is
+    /// returned and the task re-enters the candidate pool. Generalizes
+    /// the old inactivity-based purge — a lease's deadline is renewed by
+    /// the worker's own re-requests, so an active worker never loses a
+    /// live assignment, while a no-show forfeits hers after `lease_len`
+    /// ticks whether or not she ever comes back.
+    fn expire_leases(&mut self, now: Tick) {
         for wi in 0..self.in_flight.len() {
             let w = WorkerId(wi as u32);
-            if let Some((task, kind)) = self.in_flight[wi] {
-                if !self.activity.is_active(w, now) {
+            if let Some(lease) = self.in_flight[wi] {
+                if now >= lease.deadline {
                     self.in_flight[wi] = None;
-                    if kind == AssignmentKind::Regular {
-                        if let Some(v) = self.inflight_workers.get_mut(task.index()) {
+                    self.expired_last[wi] = Some(lease.task);
+                    self.leases_expired += 1;
+                    icrowd_obs::counter_add("lease.expired", 1);
+                    if lease.kind == AssignmentKind::Regular {
+                        if let Some(v) = self.inflight_workers.get_mut(lease.task.index()) {
                             v.retain(|&x| x != w);
                         }
                     }
@@ -536,10 +591,9 @@ impl ICrowd {
                     .map(|&(_, p)| (set.task, p, set.average_accuracy()))
             })
             .max_by(|(ta, pa, aa), (tb, pb, ab)| {
-                pa.partial_cmp(pb)
-                    .unwrap()
-                    .then(aa.partial_cmp(ab).unwrap())
-                    .then(tb.cmp(ta))
+                // total_cmp: an all-NaN accuracy column (a worker with no
+                // observations under fault load) must not panic the loop.
+                pa.total_cmp(pb).then(aa.total_cmp(ab)).then(tb.cmp(ta))
             })
             .map(|(t, _, _)| t)
         {
@@ -592,13 +646,18 @@ impl ICrowd {
         candidates
             .into_iter()
             .zip(acc)
-            .max_by(|(ta, a), (tb, b)| a.partial_cmp(b).unwrap().then(tb.cmp(ta)))
+            .max_by(|(ta, a), (tb, b)| a.total_cmp(b).then(tb.cmp(ta)))
             .map(|(t, _)| t)
     }
 
-    /// Records a regular assignment as in flight.
-    fn mark_in_flight(&mut self, worker: WorkerId, task: TaskId, kind: AssignmentKind) {
-        self.in_flight[worker.index()] = Some((task, kind));
+    /// Records an assignment as in flight under a fresh lease.
+    fn mark_in_flight(&mut self, worker: WorkerId, task: TaskId, kind: AssignmentKind, now: Tick) {
+        let deadline = Tick(now.0 + self.lease_len());
+        self.in_flight[worker.index()] = Some(Lease {
+            task,
+            kind,
+            deadline,
+        });
         if kind == AssignmentKind::Regular {
             if self.inflight_workers.len() <= task.index() {
                 self.inflight_workers.resize(task.index() + 1, Vec::new());
@@ -619,10 +678,14 @@ impl ExternalQuestionServer for ICrowd {
             icrowd_obs::counter_add("assign.rejected_worker", 1);
             return None;
         }
-        self.purge_stale_inflight(now);
+        self.expire_leases(now);
 
-        // Idempotent re-request: hand back the task already in flight.
-        if let Some((task, _)) = self.in_flight[worker.index()] {
+        // Idempotent re-request: hand back the task already in flight,
+        // renewing its lease — the worker just proved she is alive.
+        let lease_len = self.lease_len();
+        if let Some(lease) = self.in_flight[worker.index()].as_mut() {
+            lease.deadline = Tick(now.0 + lease_len);
+            let task = lease.task;
             icrowd_obs::counter_add("assign.repeat", 1);
             return Some(task);
         }
@@ -630,7 +693,7 @@ impl ExternalQuestionServer for ICrowd {
         // Warm-up: qualification microtasks first.
         if self.warmup.in_warmup(worker) {
             let task = self.warmup.next_task(worker).expect("in_warmup checked");
-            self.mark_in_flight(worker, task, AssignmentKind::Warmup);
+            self.mark_in_flight(worker, task, AssignmentKind::Warmup, now);
             icrowd_obs::counter_add("assign.warmup", 1);
             return Some(task);
         }
@@ -641,7 +704,7 @@ impl ExternalQuestionServer for ICrowd {
         };
         match assigned {
             Some(task) => {
-                self.mark_in_flight(worker, task, AssignmentKind::Regular);
+                self.mark_in_flight(worker, task, AssignmentKind::Regular, now);
                 icrowd_obs::counter_add("assign.issued", 1);
                 Some(task)
             }
@@ -653,25 +716,45 @@ impl ExternalQuestionServer for ICrowd {
         }
     }
 
-    fn submit_answer(&mut self, external: &str, task: TaskId, answer: Answer, now: Tick) {
+    fn submit_answer(
+        &mut self,
+        external: &str,
+        task: TaskId,
+        answer: Answer,
+        now: Tick,
+    ) -> SubmitOutcome {
         let _span = icrowd_obs::span!("answer.submit");
         let worker = self.worker_id(external, now);
         self.activity.touch(worker, now);
+        self.expire_leases(now);
 
-        let kind = match self.in_flight[worker.index()].take() {
-            Some((t, kind)) if t == task => kind,
-            // Tolerate protocol slop (late submits after a purge): grade a
-            // qualification task, otherwise treat as a regular vote.
+        // Validate against the assignment record: only an answer for the
+        // worker's live lease is recorded. Everything else — duplicates,
+        // answers that outlived their lease, answers for completed tasks,
+        // unsolicited submissions — is rejected before it can touch
+        // consensus, the estimator, or payment.
+        let lease = match self.in_flight[worker.index()] {
+            Some(l) if l.task == task => {
+                self.in_flight[worker.index()] = None;
+                l
+            }
             _ => {
-                if self.warmup.in_warmup(worker) && self.warmup.next_task(worker) == Some(task) {
-                    AssignmentKind::Warmup
+                let reason = if self.consensus.votes(task).answer_of(worker).is_some()
+                    || self.warmup.has_answered(worker, task)
+                {
+                    RejectReason::Duplicate
+                } else if self.expired_last[worker.index()] == Some(task) {
+                    RejectReason::LeaseExpired
+                } else if self.consensus.is_completed(task) {
+                    RejectReason::TaskCompleted
                 } else {
-                    AssignmentKind::Regular
-                }
+                    RejectReason::NotAssigned
+                };
+                return self.reject(reason);
             }
         };
 
-        match kind {
+        match lease.kind {
             AssignmentKind::Warmup => {
                 let truth = self.tasks[task]
                     .ground_truth
@@ -682,10 +765,17 @@ impl ExternalQuestionServer for ICrowd {
                 if self.estimator.should_reject(worker) {
                     self.activity.reject(worker);
                 }
+                SubmitOutcome::Accepted
             }
             AssignmentKind::Regular => {
                 if let Some(v) = self.inflight_workers.get_mut(task.index()) {
                     v.retain(|&x| x != worker);
+                }
+                // The task reached consensus while this answer was in
+                // flight (another worker's vote closed it, or early
+                // stopping preset it): the late answer is moot.
+                if self.consensus.is_completed(task) {
+                    return self.reject(RejectReason::TaskCompleted);
                 }
                 let vote = Vote { worker, answer };
                 match self.consensus.record(task, vote) {
@@ -725,11 +815,12 @@ impl ExternalQuestionServer for ICrowd {
                                     .record_completed_task(task, &votes, consensus_ans);
                             }
                         }
+                        SubmitOutcome::Accepted
                     }
-                    Err(_) => {
-                        // Duplicate or over-capacity vote (protocol slop):
-                        // drop it rather than poison the campaign.
+                    Err(icrowd_core::CoreError::DuplicateVote { .. }) => {
+                        self.reject(RejectReason::Duplicate)
                     }
+                    Err(_) => self.reject(RejectReason::TaskCompleted),
                 }
             }
         }
@@ -950,13 +1041,33 @@ mod tests {
             assert_eq!(t0, q);
             srv.submit_answer(name, t0, ans, Tick(0));
         }
-        // Manually drive votes on one open task via the protocol.
+        // Drive votes on one open task via the protocol.
         let target = srv.request_task("EXPERT", Tick(1)).unwrap();
         srv.submit_answer("EXPERT", target, Answer::NO, Tick(1));
-        // The duds vote YES on the same task (unsolicited-submit path
-        // records their votes even if assignment picked something else).
-        srv.submit_answer("DUD1", target, Answer::YES, Tick(2));
-        srv.submit_answer("DUD2", target, Answer::YES, Tick(2));
+        // The duds loop through real request/answer cycles until they are
+        // legitimately assigned the target. Filler answers on other tasks
+        // are split YES/NO between the duds so no filler task ever gathers
+        // two agreeing votes — none completes, so no filler vote is ever
+        // scored against a consensus and the estimator sees exactly the
+        // qualification + target evidence.
+        for (name, filler) in [("DUD1", Answer::YES), ("DUD2", Answer::NO)] {
+            let mut tick = 2u64;
+            loop {
+                let t2 = srv
+                    .request_task(name, Tick(tick))
+                    .expect("open capacity remains");
+                let ans = if t2 == target { Answer::YES } else { filler };
+                assert_eq!(
+                    srv.submit_answer(name, t2, ans, Tick(tick)),
+                    SubmitOutcome::Accepted
+                );
+                if t2 == target {
+                    break;
+                }
+                tick += 1;
+                assert!(tick < 20, "{name} never reached the target task");
+            }
+        }
 
         let plain = srv.results();
         let mut weighted = srv.results_weighted();

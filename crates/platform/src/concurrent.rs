@@ -22,7 +22,7 @@ use icrowd_core::answer::Answer;
 use icrowd_core::task::{Microtask, TaskId, TaskSet};
 use icrowd_core::worker::Tick;
 
-use crate::market::{ExternalQuestionServer, WorkerBehavior};
+use crate::market::{ExternalQuestionServer, SubmitOutcome, WorkerBehavior};
 
 /// What a concurrent run produced.
 #[derive(Debug)]
@@ -128,8 +128,10 @@ pub fn run_concurrent(
                     answer,
                 } => {
                     let external = format!("W{}", worker + 1);
-                    server.submit_answer(&external, task, answer, now);
-                    answers += 1;
+                    if server.submit_answer(&external, task, answer, now) == SubmitOutcome::Accepted
+                    {
+                        answers += 1;
+                    }
                 }
                 Msg::Done => active -= 1,
             }
@@ -176,7 +178,15 @@ mod tests {
             Some(TaskId(i as u32))
         }
 
-        fn submit_answer(&mut self, _worker: &str, _task: TaskId, _answer: Answer, _now: Tick) {}
+        fn submit_answer(
+            &mut self,
+            _worker: &str,
+            _task: TaskId,
+            _answer: Answer,
+            _now: Tick,
+        ) -> SubmitOutcome {
+            SubmitOutcome::Accepted
+        }
 
         fn is_complete(&self) -> bool {
             self.counts.iter().all(|&c| c >= self.k)

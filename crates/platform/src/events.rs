@@ -13,6 +13,31 @@ use icrowd_core::worker::Tick;
 
 use crate::hit::HitId;
 
+/// Why the server refused to record a submitted answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The worker holds no assignment for this task.
+    NotAssigned,
+    /// The worker already answered this task; the copy is discarded.
+    Duplicate,
+    /// The assignment's lease expired before the answer arrived.
+    LeaseExpired,
+    /// The task already reached consensus; the late answer is moot.
+    TaskCompleted,
+}
+
+impl RejectReason {
+    /// A stable lowercase name, used as the telemetry counter suffix.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejectReason::NotAssigned => "not_assigned",
+            RejectReason::Duplicate => "duplicate",
+            RejectReason::LeaseExpired => "lease_expired",
+            RejectReason::TaskCompleted => "task_completed",
+        }
+    }
+}
+
 /// One marketplace event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MarketEvent {
@@ -71,6 +96,45 @@ pub enum MarketEvent {
         worker: String,
         /// The abandoned HIT.
         hit: HitId,
+        /// Answers credited to the HIT before abandonment.
+        answered: usize,
+    },
+    /// The server refused to record a submitted answer.
+    AnswerRejected {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+        /// The task the rejected answer was for.
+        task: TaskId,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+    /// An injected fault lost a submission in transit; the server never
+    /// saw it.
+    AnswerDropped {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+        /// The task whose answer was lost.
+        task: TaskId,
+    },
+    /// An injected fault made the worker hold her assignment forever.
+    WorkerStalled {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
+        /// The task she is sitting on.
+        task: TaskId,
+    },
+    /// An injected churn spike made the worker depart.
+    WorkerChurned {
+        /// When it happened.
+        at: Tick,
+        /// The worker's external id.
+        worker: String,
     },
 }
 
@@ -85,6 +149,10 @@ impl MarketEvent {
             MarketEvent::AnswerSubmitted { .. } => "answer_submitted",
             MarketEvent::HitSubmitted { .. } => "hit_submitted",
             MarketEvent::HitAbandoned { .. } => "hit_abandoned",
+            MarketEvent::AnswerRejected { .. } => "answer_rejected",
+            MarketEvent::AnswerDropped { .. } => "answer_dropped",
+            MarketEvent::WorkerStalled { .. } => "worker_stalled",
+            MarketEvent::WorkerChurned { .. } => "worker_churned",
         }
     }
 
@@ -96,7 +164,11 @@ impl MarketEvent {
             | MarketEvent::RequestDeclined { at, .. }
             | MarketEvent::AnswerSubmitted { at, .. }
             | MarketEvent::HitSubmitted { at, .. }
-            | MarketEvent::HitAbandoned { at, .. } => *at,
+            | MarketEvent::HitAbandoned { at, .. }
+            | MarketEvent::AnswerRejected { at, .. }
+            | MarketEvent::AnswerDropped { at, .. }
+            | MarketEvent::WorkerStalled { at, .. }
+            | MarketEvent::WorkerChurned { at, .. } => *at,
         }
     }
 
@@ -108,7 +180,11 @@ impl MarketEvent {
             | MarketEvent::RequestDeclined { worker, .. }
             | MarketEvent::AnswerSubmitted { worker, .. }
             | MarketEvent::HitSubmitted { worker, .. }
-            | MarketEvent::HitAbandoned { worker, .. } => worker,
+            | MarketEvent::HitAbandoned { worker, .. }
+            | MarketEvent::AnswerRejected { worker, .. }
+            | MarketEvent::AnswerDropped { worker, .. }
+            | MarketEvent::WorkerStalled { worker, .. }
+            | MarketEvent::WorkerChurned { worker, .. } => worker,
         }
     }
 }
@@ -228,12 +304,34 @@ mod tests {
                 at: Tick(6),
                 worker: "B".into(),
                 hit: HitId(1),
+                answered: 3,
+            },
+            MarketEvent::AnswerRejected {
+                at: Tick(7),
+                worker: "A".into(),
+                task: TaskId(0),
+                reason: RejectReason::Duplicate,
+            },
+            MarketEvent::AnswerDropped {
+                at: Tick(8),
+                worker: "A".into(),
+                task: TaskId(0),
+            },
+            MarketEvent::WorkerStalled {
+                at: Tick(9),
+                worker: "B".into(),
+                task: TaskId(1),
+            },
+            MarketEvent::WorkerChurned {
+                at: Tick(10),
+                worker: "B".into(),
             },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.at(), Tick(i as u64 + 1));
         }
         assert_eq!(events[2].worker(), "B");
+        assert_eq!(events[9].worker(), "B");
     }
 
     #[test]
@@ -299,6 +397,31 @@ mod tests {
                 at: Tick(0),
                 worker: String::new(),
                 hit: HitId(0),
+                answered: 0,
+            }
+            .kind(),
+            MarketEvent::AnswerRejected {
+                at: Tick(0),
+                worker: String::new(),
+                task: TaskId(0),
+                reason: RejectReason::NotAssigned,
+            }
+            .kind(),
+            MarketEvent::AnswerDropped {
+                at: Tick(0),
+                worker: String::new(),
+                task: TaskId(0),
+            }
+            .kind(),
+            MarketEvent::WorkerStalled {
+                at: Tick(0),
+                worker: String::new(),
+                task: TaskId(0),
+            }
+            .kind(),
+            MarketEvent::WorkerChurned {
+                at: Tick(0),
+                worker: String::new(),
             }
             .kind(),
         ];
@@ -320,7 +443,7 @@ mod tests {
         /// `Tick` is `u64` and must survive JSON untruncated.
         fn arb_event() -> impl Strategy<Value = MarketEvent> {
             (
-                (0u8..6, 0u64..=u64::MAX),
+                (0u8..10, 0u64..=u64::MAX),
                 (arb_worker(), 0u32..=u32::MAX),
                 (0u32..=u32::MAX, 0u8..=255),
             )
@@ -350,11 +473,34 @@ mod tests {
                             hit: HitId(id),
                             reward_cents: reward,
                         },
-                        _ => MarketEvent::HitAbandoned {
+                        5 => MarketEvent::HitAbandoned {
                             at,
                             worker,
                             hit: HitId(id),
+                            answered: reward as usize % 11,
                         },
+                        6 => MarketEvent::AnswerRejected {
+                            at,
+                            worker,
+                            task: TaskId(id),
+                            reason: match ans % 4 {
+                                0 => RejectReason::NotAssigned,
+                                1 => RejectReason::Duplicate,
+                                2 => RejectReason::LeaseExpired,
+                                _ => RejectReason::TaskCompleted,
+                            },
+                        },
+                        7 => MarketEvent::AnswerDropped {
+                            at,
+                            worker,
+                            task: TaskId(id),
+                        },
+                        8 => MarketEvent::WorkerStalled {
+                            at,
+                            worker,
+                            task: TaskId(id),
+                        },
+                        _ => MarketEvent::WorkerChurned { at, worker },
                     }
                 })
         }

@@ -21,6 +21,8 @@
 //! * [`payment`] — the payment ledger.
 //! * [`events`] — a structured, serializable event log for replay and
 //!   debugging.
+//! * [`faults`] — seedable fault injection (dropped, duplicated, and
+//!   late answers; stalls; churn spikes) for chaos-testing the loop.
 //! * [`concurrent`] — a crossbeam-channel deployment of the same loop
 //!   with workers on real threads, used to demonstrate that assignment is
 //!   instant under concurrent request load.
@@ -30,13 +32,18 @@
 
 pub mod concurrent;
 pub mod events;
+pub mod faults;
 pub mod hit;
 pub mod market;
 pub mod payment;
 pub mod session;
 
-pub use events::{EventLog, MarketEvent};
+pub use events::{EventLog, MarketEvent, RejectReason};
+pub use faults::{ChurnSpike, FaultConfig, FaultPlan, FaultStats};
 pub use hit::{HitId, HitPool};
-pub use market::{ExternalQuestionServer, MarketConfig, MarketOutcome, Marketplace, WorkerScript};
+pub use market::{
+    ExternalQuestionServer, MarketAccounting, MarketConfig, MarketOutcome, Marketplace,
+    SubmitOutcome, WorkerScript,
+};
 pub use payment::PaymentLedger;
 pub use session::{SessionState, WorkerSession};

@@ -7,6 +7,13 @@
 //! and is paid when the HIT completes. The loop is event-driven over a
 //! logical [`Tick`] clock and fully deterministic: events are ordered by
 //! `(tick, sequence-number)`.
+//!
+//! [`Marketplace::run_with_faults`] is the same loop with a seedable
+//! [`FaultPlan`] injected between the worker and the server: answers can
+//! be lost in transit, delivered late or twice, workers can stall on an
+//! assignment forever or depart en masse. A `None` plan takes exactly
+//! the plain code paths, so fault-free runs are bit-identical to
+//! `run_sequential`.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -15,10 +22,20 @@ use icrowd_core::answer::Answer;
 use icrowd_core::task::{Microtask, TaskId, TaskSet};
 use icrowd_core::worker::Tick;
 
-use crate::events::{EventLog, MarketEvent};
+use crate::events::{EventLog, MarketEvent, RejectReason};
+use crate::faults::{FaultConfig, FaultPlan, FaultStats};
 use crate::hit::HitPool;
 use crate::payment::PaymentLedger;
 use crate::session::WorkerSession;
+
+/// The server's verdict on a submitted answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The answer was recorded (and will be paid if the HIT completes).
+    Accepted,
+    /// The answer was refused and must not be recorded or paid.
+    Rejected(RejectReason),
+}
 
 /// The server side of the ExternalQuestion loop — implemented by iCrowd's
 /// adaptive assigner and by every baseline strategy.
@@ -26,11 +43,21 @@ pub trait ExternalQuestionServer {
     /// A worker identified by `worker` (AMT external id) requests a
     /// microtask at `now`. Returns the assigned task, or `None` when the
     /// server has nothing for this worker (rejected worker, no eligible
-    /// task, or campaign complete).
+    /// task, or campaign complete). Re-requesting while an assignment is
+    /// in flight must idempotently re-issue the same task.
     fn request_task(&mut self, worker: &str, now: Tick) -> Option<TaskId>;
 
-    /// The worker submits her answer to a previously assigned task.
-    fn submit_answer(&mut self, worker: &str, task: TaskId, answer: Answer, now: Tick);
+    /// The worker submits her answer to a previously assigned task. The
+    /// server must validate the submission against its assignment record
+    /// — unsolicited, duplicate, or stale answers are rejected, never
+    /// silently recorded.
+    fn submit_answer(
+        &mut self,
+        worker: &str,
+        task: TaskId,
+        answer: Answer,
+        now: Tick,
+    ) -> SubmitOutcome;
 
     /// Whether the campaign is finished (all microtasks globally
     /// completed); the marketplace stops issuing requests once true.
@@ -95,6 +122,44 @@ impl Default for MarketConfig {
     }
 }
 
+/// Answer-level accounting over a marketplace run.
+///
+/// Every answer a worker *produces* either reaches the server (counted in
+/// `answers_submitted`, then split into accepted/rejected), is lost in
+/// transit (`answers_dropped`), or is held forever by a stalled worker
+/// (`stalled`). Every *accepted* answer is eventually paid (its HIT was
+/// submitted) or abandoned (its HIT was released unpaid) — never both,
+/// never neither.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarketAccounting {
+    /// Answers that reached the server (including duplicate deliveries).
+    pub answers_submitted: u64,
+    /// Submissions the server recorded.
+    pub answers_accepted: u64,
+    /// Submissions the server refused (duplicate, stale, unsolicited).
+    pub answers_rejected: u64,
+    /// Answers lost in transit; the server never saw them.
+    pub answers_dropped: u64,
+    /// Accepted answers inside HITs that were submitted and paid.
+    pub answers_paid: u64,
+    /// Accepted answers inside HITs that were abandoned unpaid.
+    pub answers_abandoned: u64,
+    /// Workers who stalled on an assignment and never returned.
+    pub stalled: u64,
+    /// Workers who departed in churn spikes.
+    pub churned: u64,
+}
+
+impl MarketAccounting {
+    /// The run-level conservation laws. A server that double-records a
+    /// duplicate (paying an answer twice) breaks the second equation —
+    /// that is the bug this detector exists for.
+    pub fn balanced(&self) -> bool {
+        self.answers_accepted + self.answers_rejected == self.answers_submitted
+            && self.answers_paid + self.answers_abandoned == self.answers_accepted
+    }
+}
+
 /// What a marketplace run produced.
 #[derive(Debug)]
 pub struct MarketOutcome {
@@ -104,8 +169,12 @@ pub struct MarketOutcome {
     pub events: EventLog,
     /// When the last event happened.
     pub end: Tick,
-    /// Total answers collected.
+    /// Total answers collected (accepted by the server).
     pub answers: usize,
+    /// Answer-level accounting.
+    pub accounting: MarketAccounting,
+    /// Faults injected (all zero when no plan was supplied).
+    pub faults: FaultStats,
 }
 
 /// The simulated marketplace.
@@ -121,6 +190,31 @@ struct WorkerState<'a> {
     session: Option<WorkerSession>,
     answered_total: usize,
     declines: u32,
+    /// Next churn spike this worker has not yet rolled against.
+    churn_idx: usize,
+}
+
+/// A heap entry's payload: a worker's next turn, or the deferred
+/// delivery of a late answer (indexing the side table of deliveries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Pending {
+    Turn(usize),
+    Deliver(usize),
+}
+
+/// A late answer in flight: produced at assignment time, delivered to
+/// the server several ticks later.
+#[derive(Debug, Clone, Copy)]
+struct Delivery {
+    wi: usize,
+    task: TaskId,
+    answer: Answer,
+}
+
+fn fault_counter(name: &str) {
+    if icrowd_obs::is_enabled() {
+        icrowd_obs::counter_add(name, 1);
+    }
 }
 
 impl Marketplace {
@@ -144,7 +238,20 @@ impl Marketplace {
         server: &mut dyn ExternalQuestionServer,
         workers: Vec<(WorkerScript, Box<dyn WorkerBehavior + 'a>)>,
     ) -> MarketOutcome {
+        self.run_with_faults(server, workers, None)
+    }
+
+    /// [`Self::run_sequential`] with an optional fault plan injected
+    /// between the workers and the server. With `faults: None` the run is
+    /// bit-identical to `run_sequential`.
+    pub fn run_with_faults<'a>(
+        &self,
+        server: &mut dyn ExternalQuestionServer,
+        workers: Vec<(WorkerScript, Box<dyn WorkerBehavior + 'a>)>,
+        faults: Option<FaultConfig>,
+    ) -> MarketOutcome {
         let _span = icrowd_obs::span!("market.run");
+        let mut plan = faults.map(FaultPlan::new);
         let mut pool = HitPool::publish(
             self.config.num_hits,
             self.config.assignments_per_hit,
@@ -153,6 +260,7 @@ impl Marketplace {
         );
         let mut ledger = PaymentLedger::new();
         let mut events = EventLog::new();
+        let mut accounting = MarketAccounting::default();
         let mut end = Tick::ZERO;
         let mut answers = 0usize;
 
@@ -166,31 +274,112 @@ impl Marketplace {
                 session: None,
                 answered_total: 0,
                 declines: 0,
+                churn_idx: 0,
             })
             .collect();
 
-        // Min-heap of (tick, sequence, worker index).
-        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        // Min-heap of (tick, sequence, payload).
+        let mut heap: BinaryHeap<Reverse<(u64, u64, Pending)>> = BinaryHeap::new();
+        let mut deliveries: Vec<Delivery> = Vec::new();
         let mut seq = 0u64;
         for (i, st) in states.iter().enumerate() {
-            heap.push(Reverse((st.script.arrival.0, seq, i)));
+            heap.push(Reverse((st.script.arrival.0, seq, Pending::Turn(i))));
             seq += 1;
         }
 
-        while let Some(Reverse((tick, _, wi))) = heap.pop() {
+        while let Some(Reverse((tick, _, pending))) = heap.pop() {
             let now = Tick(tick);
             end = end.max(now);
+
+            // A late answer reaches the server. The session has been
+            // `Working` since assignment (no turn is queued while a
+            // delivery is in flight), so this is delivered even after
+            // campaign completion — the server rejects it as stale.
+            if let Pending::Deliver(di) = pending {
+                let Delivery { wi, task, answer } = deliveries[di];
+                let st = &mut states[wi];
+                answers += Self::deliver(
+                    &mut *server,
+                    st,
+                    task,
+                    answer,
+                    now,
+                    plan.as_mut(),
+                    &mut ledger,
+                    &mut events,
+                    &mut accounting,
+                    &self.config,
+                );
+                heap.push(Reverse((
+                    now.0 + st.script.ticks_per_answer,
+                    seq,
+                    Pending::Turn(wi),
+                )));
+                seq += 1;
+                continue;
+            }
+            let Pending::Turn(wi) = pending else {
+                unreachable!()
+            };
             let st = &mut states[wi];
 
             // Campaign over: close out any open session and drop the worker.
             if server.is_complete() {
-                Self::leave(st, &mut pool, &mut ledger, &mut events, now, &self.config);
+                Self::leave(
+                    st,
+                    &mut pool,
+                    &mut ledger,
+                    &mut events,
+                    &mut accounting,
+                    now,
+                    &self.config,
+                );
                 continue;
+            }
+
+            // Churn spike: the worker rolls against every spike whose tick
+            // has passed since her last turn, and departs on the first hit.
+            if let Some(p) = plan.as_mut() {
+                let mut departed = false;
+                while st.churn_idx < p.num_spikes() && now.0 >= p.spike_at(st.churn_idx) {
+                    let hit = p.churn_hits(st.churn_idx);
+                    st.churn_idx += 1;
+                    if hit {
+                        departed = true;
+                        break;
+                    }
+                }
+                if departed {
+                    accounting.churned += 1;
+                    fault_counter("fault.churn");
+                    events.push(MarketEvent::WorkerChurned {
+                        at: now,
+                        worker: st.external_id.clone(),
+                    });
+                    Self::leave(
+                        st,
+                        &mut pool,
+                        &mut ledger,
+                        &mut events,
+                        &mut accounting,
+                        now,
+                        &self.config,
+                    );
+                    continue;
+                }
             }
 
             // Worker exhausted her budget: leave.
             if st.answered_total >= st.script.max_answers {
-                Self::leave(st, &mut pool, &mut ledger, &mut events, now, &self.config);
+                Self::leave(
+                    st,
+                    &mut pool,
+                    &mut ledger,
+                    &mut events,
+                    &mut accounting,
+                    now,
+                    &self.config,
+                );
                 continue;
             }
 
@@ -219,33 +408,78 @@ impl Marketplace {
                         task,
                     });
                     let session = st.session.as_mut().expect("session ensured above");
+                    // Re-requesting a dropped answer's task re-issues the
+                    // same in-flight assignment; the session is already
+                    // `Ready` after the abort, so `assign` is safe.
                     session.assign(task);
                     let answer = st.behavior.answer(&self.tasks[task]);
-                    session.complete_task();
                     st.answered_total += 1;
-                    answers += 1;
-                    events.push(MarketEvent::AnswerSubmitted {
-                        at: now,
-                        worker: st.external_id.clone(),
+
+                    if let Some(p) = plan.as_mut() {
+                        // Stall: the worker sits on the assignment forever.
+                        // No further events for her; her lease expires
+                        // server-side and her HIT is abandoned at cleanup.
+                        if p.stall() {
+                            accounting.stalled += 1;
+                            fault_counter("fault.stall");
+                            events.push(MarketEvent::WorkerStalled {
+                                at: now,
+                                worker: st.external_id.clone(),
+                                task,
+                            });
+                            continue;
+                        }
+                        // Drop: the submission is lost in transit. The
+                        // worker notices nothing and re-requests next turn.
+                        if p.drop_answer() {
+                            accounting.answers_dropped += 1;
+                            fault_counter("fault.drop");
+                            session.abort_task();
+                            events.push(MarketEvent::AnswerDropped {
+                                at: now,
+                                worker: st.external_id.clone(),
+                                task,
+                            });
+                            heap.push(Reverse((
+                                now.0 + st.script.ticks_per_answer,
+                                seq,
+                                Pending::Turn(wi),
+                            )));
+                            seq += 1;
+                            continue;
+                        }
+                        // Late: the answer arrives `delay` ticks from now;
+                        // the worker's next turn follows the delivery.
+                        if let Some(delay) = p.late_delay() {
+                            fault_counter("fault.late");
+                            deliveries.push(Delivery { wi, task, answer });
+                            heap.push(Reverse((
+                                now.0 + delay,
+                                seq,
+                                Pending::Deliver(deliveries.len() - 1),
+                            )));
+                            seq += 1;
+                            continue;
+                        }
+                    }
+
+                    answers += Self::deliver(
+                        &mut *server,
+                        st,
                         task,
                         answer,
-                    });
-                    server.submit_answer(&st.external_id, task, answer, now);
-
-                    // HIT complete → pay and release the session.
-                    if session.hit_finished(self.config.tasks_per_hit) {
-                        let hit = session.hit;
-                        session.close();
-                        st.session = None;
-                        ledger.pay(&st.external_id, hit, self.config.reward_cents);
-                        events.push(MarketEvent::HitSubmitted {
-                            at: now,
-                            worker: st.external_id.clone(),
-                            hit,
-                            reward_cents: self.config.reward_cents,
-                        });
-                    }
-                    heap.push(Reverse((now.0 + st.script.ticks_per_answer, seq, wi)));
+                        now,
+                        plan.as_mut(),
+                        &mut ledger,
+                        &mut events,
+                        &mut accounting,
+                        &self.config,
+                    );
+                    heap.push(Reverse((
+                        now.0 + st.script.ticks_per_answer,
+                        seq,
+                        Pending::Turn(wi),
+                    )));
                     seq += 1;
                 }
                 None => {
@@ -255,16 +489,29 @@ impl Marketplace {
                     });
                     st.declines += 1;
                     if st.declines <= self.config.max_retries {
-                        heap.push(Reverse((now.0 + self.config.retry_backoff, seq, wi)));
+                        heap.push(Reverse((
+                            now.0 + self.config.retry_backoff,
+                            seq,
+                            Pending::Turn(wi),
+                        )));
                         seq += 1;
                     } else {
-                        Self::leave(st, &mut pool, &mut ledger, &mut events, now, &self.config);
+                        Self::leave(
+                            st,
+                            &mut pool,
+                            &mut ledger,
+                            &mut events,
+                            &mut accounting,
+                            now,
+                            &self.config,
+                        );
                     }
                 }
             }
         }
 
-        // Close any sessions still open when events ran out.
+        // Close any sessions still open when events ran out (including
+        // stalled workers, whose sessions are still `Working`).
         let final_tick = end;
         for st in &mut states {
             Self::leave(
@@ -272,17 +519,112 @@ impl Marketplace {
                 &mut pool,
                 &mut ledger,
                 &mut events,
+                &mut accounting,
                 final_tick,
                 &self.config,
             );
         }
 
         events.export_to_obs();
+        let faults = plan.as_ref().map(FaultPlan::stats).unwrap_or_default();
         MarketOutcome {
             ledger,
             events,
             end,
             answers,
+            accounting,
+            faults,
+        }
+    }
+
+    /// Delivers one answer to the server and settles the outcome:
+    /// accepted answers credit the session (and may complete the HIT),
+    /// rejected answers abort the in-flight task without credit. Returns
+    /// the number of answers accepted (0 or 1).
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        server: &mut dyn ExternalQuestionServer,
+        st: &mut WorkerState<'_>,
+        task: TaskId,
+        answer: Answer,
+        now: Tick,
+        plan: Option<&mut FaultPlan>,
+        ledger: &mut PaymentLedger,
+        events: &mut EventLog,
+        accounting: &mut MarketAccounting,
+        config: &MarketConfig,
+    ) -> usize {
+        accounting.answers_submitted += 1;
+        events.push(MarketEvent::AnswerSubmitted {
+            at: now,
+            worker: st.external_id.clone(),
+            task,
+            answer,
+        });
+        match server.submit_answer(&st.external_id, task, answer, now) {
+            SubmitOutcome::Accepted => {
+                let session = st.session.as_mut().expect("delivery requires a session");
+                session.complete_task();
+                accounting.answers_accepted += 1;
+
+                // Duplicate: the same accepted answer is delivered again.
+                // A compliant server refuses the copy; if it accepts, the
+                // extra acceptance has no session credit and `balanced()`
+                // exposes the double-count.
+                if let Some(p) = plan {
+                    if p.duplicate() {
+                        fault_counter("fault.dup");
+                        accounting.answers_submitted += 1;
+                        events.push(MarketEvent::AnswerSubmitted {
+                            at: now,
+                            worker: st.external_id.clone(),
+                            task,
+                            answer,
+                        });
+                        match server.submit_answer(&st.external_id, task, answer, now) {
+                            SubmitOutcome::Accepted => accounting.answers_accepted += 1,
+                            SubmitOutcome::Rejected(reason) => {
+                                accounting.answers_rejected += 1;
+                                events.push(MarketEvent::AnswerRejected {
+                                    at: now,
+                                    worker: st.external_id.clone(),
+                                    task,
+                                    reason,
+                                });
+                            }
+                        }
+                    }
+                }
+
+                // HIT complete → pay and release the session.
+                let session = st.session.as_mut().expect("session still open");
+                if session.hit_finished(config.tasks_per_hit) {
+                    let hit = session.hit;
+                    accounting.answers_paid += session.answered as u64;
+                    session.close();
+                    st.session = None;
+                    ledger.pay(&st.external_id, hit, config.reward_cents);
+                    events.push(MarketEvent::HitSubmitted {
+                        at: now,
+                        worker: st.external_id.clone(),
+                        hit,
+                        reward_cents: config.reward_cents,
+                    });
+                }
+                1
+            }
+            SubmitOutcome::Rejected(reason) => {
+                let session = st.session.as_mut().expect("delivery requires a session");
+                session.abort_task();
+                accounting.answers_rejected += 1;
+                events.push(MarketEvent::AnswerRejected {
+                    at: now,
+                    worker: st.external_id.clone(),
+                    task,
+                    reason,
+                });
+                0
+            }
         }
     }
 
@@ -293,6 +635,7 @@ impl Marketplace {
         pool: &mut HitPool,
         ledger: &mut PaymentLedger,
         events: &mut EventLog,
+        accounting: &mut MarketAccounting,
         now: Tick,
         config: &MarketConfig,
     ) {
@@ -301,6 +644,7 @@ impl Marketplace {
         };
         let hit = session.hit;
         if session.hit_finished(config.tasks_per_hit) {
+            accounting.answers_paid += session.answered as u64;
             ledger.pay(&st.external_id, hit, config.reward_cents);
             events.push(MarketEvent::HitSubmitted {
                 at: now,
@@ -309,11 +653,13 @@ impl Marketplace {
                 reward_cents: config.reward_cents,
             });
         } else {
+            accounting.answers_abandoned += session.answered as u64;
             pool.release(hit);
             events.push(MarketEvent::HitAbandoned {
                 at: now,
                 worker: st.external_id.clone(),
                 hit,
+                answered: session.answered,
             });
         }
         session.close();
@@ -324,13 +670,17 @@ impl Marketplace {
 mod tests {
     use super::*;
     use icrowd_core::task::Microtask;
+    use std::collections::BTreeMap;
 
     /// A server that hands out tasks round-robin until each has `k`
-    /// answers, never assigning the same task to a worker twice.
+    /// answers, never assigning the same task to a worker twice. Tracks
+    /// in-flight assignments so re-requests are idempotent and stray
+    /// submissions are rejected.
     struct RoundRobinServer {
         k: usize,
         counts: Vec<usize>,
         answered_by: Vec<Vec<String>>,
+        in_flight: BTreeMap<String, TaskId>,
     }
 
     impl RoundRobinServer {
@@ -339,22 +689,52 @@ mod tests {
                 k,
                 counts: vec![0; n],
                 answered_by: vec![Vec::new(); n],
+                in_flight: BTreeMap::new(),
             }
         }
     }
 
     impl ExternalQuestionServer for RoundRobinServer {
         fn request_task(&mut self, worker: &str, _now: Tick) -> Option<TaskId> {
-            (0..self.counts.len())
+            if let Some(&task) = self.in_flight.get(worker) {
+                if self.counts[task.index()] < self.k {
+                    return Some(task); // idempotent re-issue after a dropped answer
+                }
+                // Others finished the task while this answer was in
+                // flight; release the stale assignment.
+                self.in_flight.remove(worker);
+            }
+            let task = (0..self.counts.len())
                 .find(|&i| {
                     self.counts[i] < self.k && !self.answered_by[i].iter().any(|w| w == worker)
                 })
-                .map(|i| TaskId(i as u32))
+                .map(|i| TaskId(i as u32))?;
+            self.in_flight.insert(worker.to_owned(), task);
+            Some(task)
         }
 
-        fn submit_answer(&mut self, worker: &str, task: TaskId, _answer: Answer, _now: Tick) {
+        fn submit_answer(
+            &mut self,
+            worker: &str,
+            task: TaskId,
+            _answer: Answer,
+            _now: Tick,
+        ) -> SubmitOutcome {
+            if self.in_flight.get(worker) != Some(&task) {
+                let reason = if self.answered_by[task.index()].iter().any(|w| w == worker) {
+                    RejectReason::Duplicate
+                } else {
+                    RejectReason::NotAssigned
+                };
+                return SubmitOutcome::Rejected(reason);
+            }
+            self.in_flight.remove(worker);
+            if self.counts[task.index()] >= self.k {
+                return SubmitOutcome::Rejected(RejectReason::TaskCompleted);
+            }
             self.counts[task.index()] += 1;
             self.answered_by[task.index()].push(worker.to_owned());
+            SubmitOutcome::Accepted
         }
 
         fn is_complete(&self) -> bool {
@@ -394,6 +774,7 @@ mod tests {
         let outcome = market.run_sequential(&mut server, yes_workers(4));
         assert!(server.is_complete());
         assert_eq!(outcome.answers, 18, "6 tasks x 3 assignments");
+        assert!(outcome.accounting.balanced());
         // No worker answered any task twice.
         for by in &server.answered_by {
             let mut sorted = by.clone();
@@ -422,6 +803,8 @@ mod tests {
         for w in ["W1", "W2", "W3"] {
             assert_eq!(outcome.ledger.earnings(w), 10);
         }
+        assert_eq!(outcome.accounting.answers_paid, 30);
+        assert!(outcome.accounting.balanced());
     }
 
     #[test]
@@ -436,7 +819,9 @@ mod tests {
             .events
             .events()
             .iter()
-            .any(|e| matches!(e, MarketEvent::HitAbandoned { .. })));
+            .any(|e| matches!(e, MarketEvent::HitAbandoned { answered: 5, .. })));
+        assert_eq!(outcome.accounting.answers_abandoned, 5);
+        assert!(outcome.accounting.balanced());
     }
 
     #[test]
@@ -446,7 +831,15 @@ mod tests {
             fn request_task(&mut self, _w: &str, _n: Tick) -> Option<TaskId> {
                 None
             }
-            fn submit_answer(&mut self, _w: &str, _t: TaskId, _a: Answer, _n: Tick) {}
+            fn submit_answer(
+                &mut self,
+                _w: &str,
+                _t: TaskId,
+                _a: Answer,
+                _n: Tick,
+            ) -> SubmitOutcome {
+                SubmitOutcome::Rejected(RejectReason::NotAssigned)
+            }
             fn is_complete(&self) -> bool {
                 false
             }
@@ -501,6 +894,170 @@ mod tests {
             let mut server = RoundRobinServer::new(6, 3);
             market
                 .run_sequential(&mut server, yes_workers(4))
+                .events
+                .to_json_lines()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_plain_run() {
+        let run = |faults: Option<FaultConfig>| {
+            let market = Marketplace::new(tasks(6), MarketConfig::default());
+            let mut server = RoundRobinServer::new(6, 3);
+            market
+                .run_with_faults(&mut server, yes_workers(4), faults)
+                .events
+                .to_json_lines()
+        };
+        assert_eq!(run(None), run(Some(FaultConfig::default())));
+    }
+
+    #[test]
+    fn dropped_answers_are_retried_to_completion() {
+        let market = Marketplace::new(tasks(4), MarketConfig::default());
+        let mut server = RoundRobinServer::new(4, 2);
+        let faults = FaultConfig {
+            seed: 11,
+            drop_rate: 0.3,
+            ..Default::default()
+        };
+        let outcome = market.run_with_faults(&mut server, yes_workers(3), Some(faults));
+        assert!(server.is_complete(), "retries must converge");
+        assert_eq!(outcome.answers, 8, "4 tasks x 2 assignments");
+        assert!(outcome.faults.drops > 0, "a 30% drop rate must fire");
+        assert_eq!(outcome.accounting.answers_dropped, outcome.faults.drops);
+        assert!(outcome.accounting.balanced());
+    }
+
+    #[test]
+    fn stalled_workers_hold_assignments_forever() {
+        let market = Marketplace::new(tasks(2), MarketConfig::default());
+        let mut server = RoundRobinServer::new(2, 1);
+        let faults = FaultConfig {
+            seed: 3,
+            stall_rate: 1.0,
+            ..Default::default()
+        };
+        let outcome = market.run_with_faults(&mut server, yes_workers(2), Some(faults));
+        assert!(!server.is_complete());
+        assert_eq!(outcome.answers, 0);
+        assert_eq!(outcome.accounting.stalled, 2);
+        assert_eq!(outcome.ledger.total_spend(), 0);
+        assert!(outcome.accounting.balanced());
+        let stalls = outcome
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, MarketEvent::WorkerStalled { .. }))
+            .count();
+        assert_eq!(stalls, 2);
+    }
+
+    #[test]
+    fn duplicate_submissions_pay_exactly_once() {
+        // Every accepted answer is redelivered; the copy must be rejected
+        // so one full pass over 10 tasks still pays exactly one HIT.
+        let market = Marketplace::new(tasks(10), MarketConfig::default());
+        let mut server = RoundRobinServer::new(10, 1);
+        let faults = FaultConfig {
+            seed: 5,
+            dup_rate: 1.0,
+            ..Default::default()
+        };
+        let outcome = market.run_with_faults(&mut server, yes_workers(1), Some(faults));
+        assert!(server.is_complete());
+        assert_eq!(outcome.answers, 10);
+        assert_eq!(outcome.accounting.answers_submitted, 20);
+        assert_eq!(outcome.accounting.answers_rejected, 10);
+        assert_eq!(outcome.ledger.num_payments(), 1, "one HIT, paid once");
+        assert_eq!(outcome.ledger.total_spend(), 10);
+        assert!(outcome.accounting.balanced());
+        assert!(outcome.events.events().iter().any(|e| matches!(
+            e,
+            MarketEvent::AnswerRejected {
+                reason: RejectReason::Duplicate,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn late_answers_are_delivered_after_a_delay() {
+        let market = Marketplace::new(tasks(4), MarketConfig::default());
+        let mut server = RoundRobinServer::new(4, 1);
+        let faults = FaultConfig {
+            seed: 8,
+            late_rate: 1.0,
+            late_max_ticks: 5,
+            ..Default::default()
+        };
+        let outcome = market.run_with_faults(&mut server, yes_workers(1), Some(faults));
+        assert!(server.is_complete());
+        assert_eq!(outcome.answers, 4);
+        assert_eq!(outcome.faults.lates, 4);
+        assert!(outcome.accounting.balanced());
+        // Each answer arrives strictly after its assignment tick.
+        let evs = outcome.events.events();
+        for (i, e) in evs.iter().enumerate() {
+            if let MarketEvent::AnswerSubmitted { at, task, .. } = e {
+                let assigned_at = evs[..i]
+                    .iter()
+                    .rev()
+                    .find_map(|p| match p {
+                        MarketEvent::TaskAssigned { at, task: t, .. } if t == task => Some(*at),
+                        _ => None,
+                    })
+                    .expect("assignment precedes submission");
+                assert!(*at > assigned_at, "late answers arrive strictly later");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_spike_removes_workers() {
+        let market = Marketplace::new(tasks(50), MarketConfig::default());
+        let mut server = RoundRobinServer::new(50, 3);
+        let faults = FaultConfig {
+            seed: 1,
+            churn: vec![crate::faults::ChurnSpike {
+                at: 5,
+                fraction: 1.0,
+            }],
+            ..Default::default()
+        };
+        let outcome = market.run_with_faults(&mut server, yes_workers(3), Some(faults));
+        assert!(!server.is_complete(), "everyone left at tick 5");
+        assert_eq!(outcome.accounting.churned, 3);
+        assert!(outcome.accounting.balanced());
+        let churned = outcome
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, MarketEvent::WorkerChurned { .. }))
+            .count();
+        assert_eq!(churned, 3);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let market = Marketplace::new(tasks(8), MarketConfig::default());
+            let mut server = RoundRobinServer::new(8, 2);
+            let faults = FaultConfig {
+                seed: 77,
+                drop_rate: 0.2,
+                dup_rate: 0.1,
+                late_rate: 0.2,
+                late_max_ticks: 4,
+                stall_rate: 0.05,
+                churn: vec![crate::faults::ChurnSpike {
+                    at: 30,
+                    fraction: 0.2,
+                }],
+            };
+            market
+                .run_with_faults(&mut server, yes_workers(5), Some(faults))
                 .events
                 .to_json_lines()
         };
@@ -580,6 +1137,9 @@ mod tests {
                     prop_assert!(e.at() >= last);
                     last = e.at();
                 }
+
+                // 5. Answer conservation laws hold.
+                prop_assert!(outcome.accounting.balanced());
             }
         }
     }

@@ -76,6 +76,20 @@ impl WorkerSession {
         task
     }
 
+    /// Abandons the in-flight microtask without credit, returning it.
+    /// Used when a submission is lost in transit or rejected: the worker
+    /// goes back to `Ready` but her answer count is unchanged.
+    ///
+    /// # Panics
+    /// Panics unless the session is `Working`.
+    pub fn abort_task(&mut self) -> TaskId {
+        let SessionState::Working(task) = self.state else {
+            panic!("no microtask in flight");
+        };
+        self.state = SessionState::Ready;
+        task
+    }
+
     /// Whether the worker has answered the full HIT quota.
     pub fn hit_finished(&self, tasks_per_hit: usize) -> bool {
         self.answered >= tasks_per_hit
@@ -114,6 +128,15 @@ mod tests {
 
         s.close();
         assert_eq!(s.state, SessionState::Closed);
+    }
+
+    #[test]
+    fn abort_returns_task_without_credit() {
+        let mut s = WorkerSession::open("A", HitId(0), Tick(0));
+        s.assign(TaskId(4));
+        assert_eq!(s.abort_task(), TaskId(4));
+        assert_eq!(s.answered, 0);
+        assert_eq!(s.state, SessionState::Ready);
     }
 
     #[test]

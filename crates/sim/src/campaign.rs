@@ -23,8 +23,10 @@ use icrowd_core::worker::{Tick, WorkerId};
 use icrowd_estimate::EstimationMode;
 use icrowd_graph::{GraphBuilder, LinearityIndex, SimilarityGraph};
 use icrowd_platform::market::{
-    ExternalQuestionServer, MarketConfig, Marketplace, WorkerBehavior, WorkerScript,
+    ExternalQuestionServer, MarketAccounting, MarketConfig, Marketplace, SubmitOutcome,
+    WorkerBehavior, WorkerScript,
 };
+use icrowd_platform::{FaultConfig, FaultStats, RejectReason};
 use icrowd_text::{
     CosineTfIdf, EditDistanceSimilarity, JaccardSimilarity, LdaConfig, TaskSimilarity, Tokenizer,
     TopicCosine,
@@ -179,6 +181,10 @@ pub struct CampaignConfig {
     /// instead of plain consensus (Section 2.1's "(weighted) majority
     /// voting"; compared in the `ablation` bench).
     pub weighted_aggregation: bool,
+    /// Fault-injection plan for the marketplace loop (dropped, duplicated,
+    /// late answers; stalls; churn spikes). `None` runs the fault-free
+    /// loop, bit-identical to the pre-fault harness.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -194,6 +200,7 @@ impl Default for CampaignConfig {
             estimation_mode: EstimationMode::default(),
             dynamics: WorkerDynamics::Sessions { concurrency: 6 },
             weighted_aggregation: false,
+            faults: None,
         }
     }
 }
@@ -219,6 +226,13 @@ pub struct CampaignResult {
     pub elapsed_ms: f64,
     /// The shared qualification/gold set used.
     pub gold: Vec<TaskId>,
+    /// Answer-flow accounting from the marketplace (submitted, accepted,
+    /// rejected, paid, abandoned).
+    pub accounting: MarketAccounting,
+    /// Faults the marketplace actually injected.
+    pub fault_stats: FaultStats,
+    /// Whether every task reached its consensus before the crowd ran out.
+    pub completed: bool,
 }
 
 impl CampaignResult {
@@ -347,7 +361,8 @@ pub fn run_campaign_with(
         ))),
     };
 
-    let outcome = market.run_sequential(&mut server, behaviors);
+    let outcome = market.run_with_faults(&mut server, behaviors, config.faults.clone());
+    let completed = server.is_complete();
     let results = server.results(config.weighted_aggregation);
     let excluded: HashSet<TaskId> = gold.iter().copied().collect();
     let (overall, per_domain) = evaluate(dataset, &results, &excluded);
@@ -372,6 +387,9 @@ pub fn run_campaign_with(
         worker_assignments,
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
         gold,
+        accounting: outcome.accounting,
+        fault_stats: outcome.faults,
+        completed,
     }
 }
 
@@ -468,7 +486,13 @@ impl ExternalQuestionServer for CampaignServer {
         }
     }
 
-    fn submit_answer(&mut self, worker: &str, task: TaskId, answer: Answer, now: Tick) {
+    fn submit_answer(
+        &mut self,
+        worker: &str,
+        task: TaskId,
+        answer: Answer,
+        now: Tick,
+    ) -> SubmitOutcome {
         match self {
             CampaignServer::ICrowd(s) => s.submit_answer(worker, task, answer, now),
             CampaignServer::Random(s) => s.submit_answer(worker, task, answer, now),
@@ -648,28 +672,50 @@ impl ExternalQuestionServer for RandomServer {
         Some(pick)
     }
 
-    fn submit_answer(&mut self, external: &str, task: TaskId, answer: Answer, _now: Tick) {
+    fn submit_answer(
+        &mut self,
+        external: &str,
+        task: TaskId,
+        answer: Answer,
+        _now: Tick,
+    ) -> SubmitOutcome {
         let w = self.worker_index(external);
-        if self.in_flight[w] == Some(task) {
-            self.in_flight[w] = None;
+        // Only answers matching the worker's outstanding assignment count;
+        // anything else is a duplicate or was never assigned.
+        if self.in_flight[w] != Some(task) {
+            let reason = if self.answered[w].contains(&task) {
+                RejectReason::Duplicate
+            } else {
+                RejectReason::NotAssigned
+            };
+            return SubmitOutcome::Rejected(reason);
         }
+        self.in_flight[w] = None;
         self.answered[w].insert(task);
         if self.gold_set.contains(&task) {
             let truth = self.tasks[task].ground_truth.expect("gold carries truth");
             self.gold_progress[w] += 1;
             self.tracker.record(WorkerId(w as u32), answer, truth);
-            return;
+            return SubmitOutcome::Accepted;
         }
         let votes = &mut self.votes[task.index()];
-        if votes.len() < self.k && !votes.iter().any(|v| v.worker.index() == w) {
-            votes.push(Vote {
-                worker: WorkerId(w as u32),
-                answer,
-            });
-            if votes.len() == self.k {
-                self.remaining -= 1;
-            }
+        // Several holders can race for the last slot (the eligibility
+        // filter counts at most one in-flight copy); late finishers lose.
+        if votes.len() >= self.k {
+            return SubmitOutcome::Rejected(RejectReason::TaskCompleted);
         }
+        debug_assert!(
+            !votes.iter().any(|v| v.worker.index() == w),
+            "assignment validation admitted a repeated vote"
+        );
+        votes.push(Vote {
+            worker: WorkerId(w as u32),
+            answer,
+        });
+        if votes.len() == self.k {
+            self.remaining -= 1;
+        }
+        SubmitOutcome::Accepted
     }
 
     fn is_complete(&self) -> bool {

@@ -203,8 +203,7 @@ impl LdaModel {
         let mut idx: Vec<u32> = (0..self.vocab_size as u32).collect();
         idx.sort_by(|&a, &b| {
             self.phi[t][b as usize]
-                .partial_cmp(&self.phi[t][a as usize])
-                .unwrap()
+                .total_cmp(&self.phi[t][a as usize])
                 .then(a.cmp(&b))
         });
         idx.truncate(n);

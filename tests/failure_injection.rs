@@ -1,10 +1,16 @@
-//! Failure injection: abandoned assignments, protocol slop and worker
-//! churn must not wedge the framework.
+//! Failure injection: abandoned assignments, protocol slop, injected
+//! marketplace faults and worker churn must not wedge the framework —
+//! and must never corrupt its vote or payment accounting.
 
 use icrowd::core::{Answer, ICrowdConfig, Microtask, TaskId, TaskSet, Tick, WarmupConfig};
-use icrowd::platform::ExternalQuestionServer;
+use icrowd::platform::{
+    ChurnSpike, ExternalQuestionServer, FaultConfig, MarketConfig, Marketplace, RejectReason,
+    SubmitOutcome, WorkerScript,
+};
 use icrowd::{AssignStrategy, ICrowd, ICrowdBuilder};
+use icrowd_platform::market::WorkerBehavior;
 use icrowd_text::metric::MatrixSimilarity;
+use proptest::prelude::*;
 
 fn tasks(n: u32) -> TaskSet {
     (0..n)
@@ -57,25 +63,83 @@ fn abandoned_assignments_release_capacity_after_the_activity_window() {
 }
 
 #[test]
-fn duplicate_and_unsolicited_submissions_are_tolerated() {
+fn duplicate_and_unsolicited_submissions_are_rejected() {
     let mut srv = server(3, 30);
     let q = srv.request_task("A", Tick(0)).unwrap();
-    srv.submit_answer("A", q, Answer::YES, Tick(0));
+    assert_eq!(
+        srv.submit_answer("A", q, Answer::YES, Tick(0)),
+        SubmitOutcome::Accepted
+    );
     let t1 = srv.request_task("A", Tick(1)).unwrap();
-    srv.submit_answer("A", t1, Answer::YES, Tick(1));
-    // Duplicate submission of the same task: dropped, no panic.
-    srv.submit_answer("A", t1, Answer::NO, Tick(2));
-    // Unsolicited submission for a task never assigned to B (after B's
-    // own warm-up flows): tolerated.
+    assert_eq!(
+        srv.submit_answer("A", t1, Answer::YES, Tick(1)),
+        SubmitOutcome::Accepted
+    );
+    // Submitting the same task twice is a duplicate: refused, the first
+    // vote stands untouched.
+    assert_eq!(
+        srv.submit_answer("A", t1, Answer::NO, Tick(2)),
+        SubmitOutcome::Rejected(RejectReason::Duplicate)
+    );
+    assert_eq!(
+        srv.consensus()
+            .votes(t1)
+            .answer_of(icrowd::core::WorkerId(0)),
+        Some(Answer::YES),
+        "duplicate must not overwrite the recorded vote"
+    );
+    // An answer for a task never assigned to B (after B's own warm-up
+    // flow) is unsolicited: refused, never counted.
     let qb = srv.request_task("B", Tick(3)).unwrap();
     srv.submit_answer("B", qb, Answer::YES, Tick(3));
-    srv.submit_answer("B", TaskId(2), Answer::NO, Tick(4));
-    // The vote actually counted as a regular vote for B.
+    let unsolicited = TaskId(if t1 == TaskId(2) { 1 } else { 2 });
+    assert_eq!(
+        srv.submit_answer("B", unsolicited, Answer::NO, Tick(4)),
+        SubmitOutcome::Rejected(RejectReason::NotAssigned)
+    );
     assert!(srv
         .consensus()
-        .votes(TaskId(2))
+        .votes(unsolicited)
         .answer_of(icrowd::core::WorkerId(1))
-        .is_some());
+        .is_none());
+    assert_eq!(srv.answers_rejected(), 2);
+}
+
+#[test]
+fn expired_lease_answers_are_rejected_and_the_task_is_reassigned() {
+    let mut srv = server(4, 5); // lease = activity window = 5 ticks
+    let qa = srv.request_task("A", Tick(0)).unwrap();
+    srv.submit_answer("A", qa, Answer::YES, Tick(0));
+    let stale = srv.request_task("A", Tick(1)).unwrap(); // lease expires at 6
+    assert_eq!(srv.leases_expired(), 0);
+
+    // B's much-later request sweeps expired leases: A's assignment is
+    // reclaimed and the task re-enters the candidate pool.
+    let qb = srv.request_task("B", Tick(50)).unwrap();
+    srv.submit_answer("B", qb, Answer::YES, Tick(50));
+    assert_eq!(srv.leases_expired(), 1);
+
+    // A's answer arrives after her lease was reclaimed: refused.
+    assert_eq!(
+        srv.submit_answer("A", stale, Answer::YES, Tick(51)),
+        SubmitOutcome::Rejected(RejectReason::LeaseExpired)
+    );
+    assert_eq!(srv.answers_rejected(), 1);
+
+    // Diligent workers complete the campaign, reclaimed task included.
+    let mut tick = 52u64;
+    let mut guard = 0;
+    while !srv.is_complete() {
+        guard += 1;
+        assert!(guard < 400, "reclaimed task wedged the campaign");
+        for name in ["B", "C", "D"] {
+            if let Some(t) = srv.request_task(name, Tick(tick)) {
+                srv.submit_answer(name, t, Answer::YES, Tick(tick));
+            }
+            tick += 1;
+        }
+    }
+    assert!(srv.consensus().is_completed(stale));
 }
 
 #[test]
@@ -122,4 +186,83 @@ fn re_requests_after_stale_purge_get_fresh_assignments() {
     let _ = first;
     // Subsequent flow still works.
     assert!(srv.request_task("A", Tick(101)).is_some());
+}
+
+/// Workers who always answer the ground truth (YES for `tasks()`).
+struct Truthful;
+impl WorkerBehavior for Truthful {
+    fn answer(&mut self, task: &Microtask) -> Answer {
+        task.ground_truth.unwrap_or(Answer::YES)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any fault plan — drops, duplicates, late delivery, stalls and a
+    /// churn spike in one run — leaves the books balanced: the campaign
+    /// terminates, every payment matches the per-assignment reward, no
+    /// task collects more than `k` votes, and no vote is double-counted.
+    #[test]
+    fn random_fault_plans_never_corrupt_the_accounting(
+        seed in 0u64..1_000,
+        drop_rate in 0.0f64..0.4,
+        dup_rate in 0.0f64..0.4,
+        late_rate in 0.0f64..0.4,
+        stall_rate in 0.0f64..0.1,
+        churn_fraction in 0.0f64..0.3,
+    ) {
+        let n = 8u32;
+        let ts = tasks(n);
+        let metric = MatrixSimilarity::from_edges(&ts, &[], "empty");
+        let mut srv = ICrowdBuilder::new(ts.clone())
+            .config(ICrowdConfig {
+                warmup: WarmupConfig {
+                    num_qualification: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .strategy(AssignStrategy::Adapt)
+            .metric(&metric)
+            .build();
+        let k = ICrowdConfig::default().assignment_size;
+        let market = Marketplace::new(ts, MarketConfig::default());
+        let behaviors: Vec<(WorkerScript, Box<dyn WorkerBehavior>)> = (0..12)
+            .map(|i| {
+                (
+                    WorkerScript {
+                        arrival: Tick(i as u64),
+                        max_answers: 60,
+                        ticks_per_answer: 1,
+                    },
+                    Box::new(Truthful) as Box<dyn WorkerBehavior>,
+                )
+            })
+            .collect();
+        let faults = FaultConfig {
+            seed,
+            drop_rate,
+            dup_rate,
+            late_rate,
+            stall_rate,
+            churn: vec![ChurnSpike { at: 10, fraction: churn_fraction }],
+            ..Default::default()
+        };
+        let outcome = market.run_with_faults(&mut srv, behaviors, Some(faults));
+
+        prop_assert!(outcome.accounting.balanced(), "{:?}", outcome.accounting);
+        prop_assert_eq!(
+            outcome.ledger.total_spend(),
+            outcome.ledger.num_payments() as u64
+                * u64::from(MarketConfig::default().reward_cents)
+        );
+        prop_assert_eq!(outcome.accounting.answers_rejected, srv.answers_rejected());
+        for t in 0..n {
+            prop_assert!(
+                srv.consensus().votes(TaskId(t)).len() <= k,
+                "task {t} holds more than k votes"
+            );
+        }
+    }
 }

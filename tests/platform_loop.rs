@@ -105,8 +105,12 @@ fn concurrent_mode_completes_the_same_campaign() {
     // non-gold task (k vote capacity, early consensus allowed).
     assert!(conc.answers > 0);
     assert!(seq.answers > 0);
+    // Workers fire-and-forget their submissions, so `per_worker` counts
+    // answers *produced*; the server may reject a few that lose a race
+    // (task already at consensus when the submission lands). Accepted
+    // answers can therefore trail production, never exceed it.
     let per_worker_total: usize = conc.per_worker.iter().sum();
-    assert_eq!(per_worker_total, conc.answers);
+    assert!(conc.answers <= per_worker_total);
 }
 
 #[test]

@@ -39,10 +39,17 @@ fn main() {
     // Child mode: run one (n, cap) configuration and print its row. The
     // parent spawns a child per configuration so allocator high-water
     // from one million-task graph never accumulates into the next.
-    let args: Vec<String> = std::env::args().collect();
-    if let [_, n, cap] = args.as_slice() {
-        run_one(n.parse().expect("n"), cap.parse().expect("cap"));
-        return;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match icrowd_bench::parse_child_args(&args) {
+        Ok(Some((n, cap))) => {
+            run_one(n, cap);
+            return;
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 
     let small = std::env::var("FIG10_SCALE").is_ok_and(|v| v == "small");

@@ -49,6 +49,34 @@ pub mod telemetry {
     }
 }
 
+/// Parses `fig10`'s child-mode positional arguments (`<n> <cap>`).
+///
+/// `Ok(None)` means no child arguments were given (parent mode);
+/// `Ok(Some((n, cap)))` runs one configuration. Malformed invocations
+/// are reported as errors so the binary can exit nonzero instead of
+/// panicking mid-benchmark.
+///
+/// # Errors
+/// A wrong argument count or unparseable numbers.
+pub fn parse_child_args(args: &[String]) -> Result<Option<(usize, usize)>, String> {
+    match args {
+        [] => Ok(None),
+        [n, cap] => {
+            let n = n
+                .parse()
+                .map_err(|_| format!("invalid task count `{n}` (expected a number)"))?;
+            let cap = cap
+                .parse()
+                .map_err(|_| format!("invalid neighbor cap `{cap}` (expected a number)"))?;
+            Ok(Some((n, cap)))
+        }
+        other => Err(format!(
+            "expected `fig10 <tasks> <cap>` or no arguments, got {} argument(s)",
+            other.len()
+        )),
+    }
+}
+
 /// Accuracy rows averaged over seeds: one entry per domain plus `ALL`.
 #[derive(Debug, Clone)]
 pub struct AveragedResult {
@@ -175,5 +203,39 @@ mod tests {
         for (_, acc) in &r.rows {
             assert!((0.0..=1.0).contains(acc));
         }
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn child_args_parse_parent_and_child_modes() {
+        assert_eq!(parse_child_args(&[]).unwrap(), None);
+        assert_eq!(
+            parse_child_args(&strings(&["200000", "40"])).unwrap(),
+            Some((200_000, 40))
+        );
+    }
+
+    // Regression: child-mode argument parsing reports malformed input
+    // instead of panicking (three malformed invocations).
+    #[test]
+    fn child_args_reject_non_numeric_task_count() {
+        let err = parse_child_args(&strings(&["banana", "40"])).unwrap_err();
+        assert!(err.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn child_args_reject_non_numeric_cap() {
+        let err = parse_child_args(&strings(&["200000", "wide"])).unwrap_err();
+        assert!(err.contains("wide"), "{err}");
+    }
+
+    #[test]
+    fn child_args_reject_wrong_arity() {
+        let err = parse_child_args(&strings(&["200000"])).unwrap_err();
+        assert!(err.contains("1 argument"), "{err}");
+        assert!(parse_child_args(&strings(&["1", "2", "3"])).is_err());
     }
 }

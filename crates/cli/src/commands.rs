@@ -5,16 +5,35 @@ use std::fmt::Write as _;
 use icrowd::AssignStrategy;
 use icrowd_core::config::ICrowdConfig;
 use icrowd_graph::GraphBuilder;
-use icrowd_sim::campaign::{run_campaign, Approach, CampaignConfig, MetricChoice, QualStrategy};
-use icrowd_sim::datasets::{item_compare, quiz, table1, yahooqa, Dataset};
+use icrowd_serve::{run_loadgen, CampaignEngine, ClientFaultConfig, LoadgenConfig, ServeConfig};
+use icrowd_sim::campaign::{
+    labels_lines, run_campaign, Approach, CampaignConfig, CampaignResult, MetricChoice,
+    QualStrategy,
+};
+use icrowd_sim::datasets::{by_name, Dataset};
 
 use crate::args::{Args, CliError};
 
 /// Dispatches a parsed command line, returning the text to print.
+/// Progress lines emitted mid-command (the `serve` listening banner)
+/// are dropped; use [`run_with`] to receive them.
 ///
 /// # Errors
 /// Unknown subcommands, datasets, approaches or bad option values.
 pub fn run(args: &Args) -> Result<String, CliError> {
+    run_with(args, &mut |_| {})
+}
+
+/// Like [`run`], but streams progress lines through `notify` as they
+/// happen. Long-running commands use this for output that must appear
+/// before they return — `serve` announces its bound address so scripts
+/// can discover an ephemeral port before the command blocks in the
+/// drain. The binary prints and flushes each line; the library itself
+/// never writes to stdout.
+///
+/// # Errors
+/// Unknown subcommands, datasets, approaches or bad option values.
+pub fn run_with(args: &Args, notify: &mut dyn FnMut(&str)) -> Result<String, CliError> {
     match args.command.as_str() {
         "help" => Ok(help_text()),
         "datasets" => datasets_cmd(),
@@ -22,6 +41,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "compare" => compare_cmd(args),
         "graph" => graph_cmd(args),
         "quals" => quals_cmd(args),
+        "serve" => serve_cmd(args, notify),
+        "loadgen" => loadgen_cmd(args),
         other => Err(CliError(format!(
             "unknown subcommand `{other}`; try `icrowd help`"
         ))),
@@ -37,6 +58,11 @@ USAGE:
     icrowd compare  --dataset <name> [--seed N] [--faults <spec>] [--telemetry <path>]
     icrowd graph    --dataset <name> [--metric <m>] [--threshold X]
     icrowd quals    --dataset <name> [--q N] [--strategy inf|random]
+    icrowd serve    --dataset <name> [--approach <a>] [--addr H:P] [--handlers N]
+                    [--queue N] [--seed N] [--faults <spec>] [--labels-out <path>]
+                    [--telemetry <path>]
+    icrowd loadgen  --addr H:P [--workers N] [--think-ms T] [--faults dup=R,late=R:MS,seed=N]
+                    [--labels-out <path>] [--no-shutdown] [--telemetry <path>]
 
 DATASETS:    yahooqa, item_compare, table1, quiz
 APPROACHES:  icrowd (Adapt), best-effort, qf-only, random-mv, random-em, avgacc-pv
@@ -52,20 +78,33 @@ FAULTS:      --faults injects marketplace faults, e.g.
 TELEMETRY:   --telemetry <path> records span timings (index.build, ppr.solve,
              assign.loop, estimator.refresh, ...), counters and marketplace
              events during the run and writes them to <path> as JSON lines.
+
+SERVING:     `icrowd serve` hosts one campaign behind a line-delimited JSON
+             TCP protocol (HELLO/REQUEST_TASK/SUBMIT_ANSWER/STATUS/RESULTS/
+             SHUTDOWN) and drains gracefully on SHUTDOWN. `icrowd loadgen`
+             drives it with N concurrent simulated workers and reports
+             throughput + p50/p99 latency. At the same seed, the served
+             campaign's consensus labels are byte-identical to the
+             in-process `icrowd campaign` run (compare via --labels-out).
 "
     .to_owned()
 }
 
 fn dataset_by_name(name: &str, seed: u64) -> Result<Dataset, CliError> {
-    match name {
-        "yahooqa" => Ok(yahooqa(seed)),
-        "item_compare" | "itemcompare" => Ok(item_compare(seed)),
-        "table1" => Ok(table1()),
-        "quiz" => Ok(quiz(seed)),
-        other => Err(CliError(format!(
-            "unknown dataset `{other}` (try: yahooqa, item_compare, table1, quiz)"
-        ))),
-    }
+    by_name(name, seed).ok_or_else(|| {
+        CliError(format!(
+            "unknown dataset `{name}` (try: yahooqa, item_compare, table1, quiz)"
+        ))
+    })
+}
+
+/// Writes consensus labels to `--labels-out` when requested.
+fn write_labels(args: &Args, labels: &str) -> Result<(), CliError> {
+    let Some(path) = args.get("labels-out") else {
+        return Ok(());
+    };
+    std::fs::write(path, labels)
+        .map_err(|e| CliError(format!("cannot write labels to `{path}`: {e}")))
 }
 
 fn approach_by_name(name: &str) -> Result<Approach, CliError> {
@@ -195,6 +234,7 @@ fn campaign_cmd(args: &Args) -> Result<String, CliError> {
     let approach = approach_by_name(args.get_or("approach", "icrowd"))?;
     let telemetry = telemetry_begin(args);
     let r = run_campaign(&ds, approach, &config);
+    write_labels(args, &labels_lines(&r.labels))?;
 
     if args.has_flag("json") {
         telemetry_end(telemetry, None)?;
@@ -414,6 +454,119 @@ fn quals_cmd(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Summarizes a finished (served) campaign, mirroring `campaign`'s
+/// human-readable output.
+fn campaign_summary(r: &CampaignResult, seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "{} on {} (seed {seed})", r.approach, r.dataset).unwrap();
+    writeln!(out, "overall accuracy: {:.3}", r.overall).unwrap();
+    writeln!(
+        out,
+        "answers: {}   spend: {} cents   completed: {}",
+        r.answers,
+        r.spend_cents,
+        if r.completed { "yes" } else { "no" }
+    )
+    .unwrap();
+    let a = r.accounting;
+    writeln!(
+        out,
+        "accounting: submitted {} accepted {} rejected {} balanced {}",
+        a.answers_submitted,
+        a.answers_accepted,
+        a.answers_rejected,
+        a.balanced()
+    )
+    .unwrap();
+    out
+}
+
+fn serve_cmd(args: &Args, notify: &mut dyn FnMut(&str)) -> Result<String, CliError> {
+    let name = args
+        .get("dataset")
+        .ok_or_else(|| CliError("serve requires --dataset".into()))?;
+    let config = campaign_config(args, name)?;
+    let ds = dataset_by_name(name, config.seed)?;
+    let approach = approach_by_name(args.get_or("approach", "icrowd"))?;
+    let serve_config = ServeConfig {
+        addr: args.get_or("addr", "127.0.0.1:7700").to_owned(),
+        handlers: args.get_parsed("handlers", 4usize)?,
+        queue_cap: args.get_parsed("queue", 64usize)?,
+    };
+    let telemetry = telemetry_begin(args);
+    let seed = config.seed;
+
+    let engine = CampaignEngine::new(name, ds, approach, config);
+    let handle = icrowd_serve::serve(engine, &serve_config)
+        .map_err(|e| CliError(format!("cannot bind `{}`: {e}", serve_config.addr)))?;
+    // Emitted before blocking so scripts can discover an ephemeral
+    // port; everything else arrives at drain.
+    notify(&format!("icrowd-serve listening on {}", handle.addr()));
+
+    let result = handle.join();
+    write_labels(args, &labels_lines(&result.labels))?;
+    let mut out = campaign_summary(&result, seed);
+    telemetry_end(telemetry, Some(&mut out))?;
+    Ok(out)
+}
+
+fn loadgen_cmd(args: &Args) -> Result<String, CliError> {
+    let addr = args
+        .get("addr")
+        .ok_or_else(|| CliError("loadgen requires --addr".into()))?;
+    let faults = args
+        .get("faults")
+        .map(|spec| {
+            ClientFaultConfig::parse(spec)
+                .map_err(|e| CliError(format!("invalid --faults spec: {e}")))
+        })
+        .transpose()?;
+    let config = LoadgenConfig {
+        addr: addr.to_owned(),
+        workers: args.get_parsed("workers", 8usize)?,
+        think_ms: args.get_parsed("think-ms", 0u64)?,
+        faults,
+        shutdown: !args.has_flag("no-shutdown"),
+        fetch_labels: true,
+    };
+    let telemetry = telemetry_begin(args);
+    let report = run_loadgen(&config).map_err(CliError)?;
+    if let Some(labels) = &report.labels {
+        write_labels(args, labels)?;
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "loadgen: {} threads over {} workers against {}",
+        report.threads, report.roster, config.addr
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "requests: {}   accepted: {}   rejected: {}   dups sent: {}",
+        report.requests, report.accepted, report.rejected, report.dups_sent
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "complete: {}   balanced: {}   elapsed: {:.2}s   throughput: {:.1} answers/s",
+        if report.complete { "yes" } else { "no" },
+        report.balanced,
+        report.elapsed.as_secs_f64(),
+        report.throughput
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "latency us: request p50 {:.0} p99 {:.0}   submit p50 {:.0} p99 {:.0}",
+        report.request_p50_us, report.request_p99_us, report.submit_p50_us, report.submit_p99_us
+    )
+    .unwrap();
+    telemetry_end(telemetry, Some(&mut out))?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,5 +733,48 @@ mod tests {
             .unwrap_err()
             .0
             .contains("invalid --faults"));
+    }
+
+    /// Regression: the serving commands reject malformed options with an
+    /// error (nonzero exit in `main`) instead of panicking — none of
+    /// these may reach the network.
+    #[test]
+    fn serving_command_errors_are_user_facing() {
+        assert!(run_line("serve").unwrap_err().0.contains("--dataset"));
+        assert!(run_line("loadgen").unwrap_err().0.contains("--addr"));
+        assert!(run_line("loadgen --addr 127.0.0.1:1 --workers banana")
+            .unwrap_err()
+            .0
+            .contains("banana"));
+        assert!(run_line("loadgen --addr 127.0.0.1:1 --faults dup=banana")
+            .unwrap_err()
+            .0
+            .contains("invalid --faults"));
+        assert!(run_line("loadgen --addr 127.0.0.1:1 --faults late=0.5:xx")
+            .unwrap_err()
+            .0
+            .contains("invalid --faults"));
+        assert!(run_line("serve --dataset table1 --handlers many")
+            .unwrap_err()
+            .0
+            .contains("many"));
+    }
+
+    #[test]
+    fn campaign_labels_out_writes_canonical_lines() {
+        let path = std::env::temp_dir().join("icrowd_cli_labels_test.txt");
+        let path_str = path.to_str().unwrap().to_owned();
+        run_line(&format!(
+            "campaign --dataset table1 --approach random-mv --q 3 --labels-out {path_str}"
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 12, "one line per table1 task");
+        for line in text.lines() {
+            let (t, a) = line.split_once(' ').expect("task answer");
+            t.parse::<u32>().unwrap();
+            a.parse::<u8>().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -19,4 +19,4 @@ pub mod args;
 pub mod commands;
 
 pub use args::{Args, CliError};
-pub use commands::run;
+pub use commands::{run, run_with};

@@ -9,7 +9,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match icrowd_cli::run(&parsed) {
+    let mut notify = |line: &str| {
+        use std::io::Write as _;
+        println!("{line}");
+        std::io::stdout().flush().ok();
+    };
+    match icrowd_cli::run_with(&parsed, &mut notify) {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -18,6 +18,9 @@
 //! * [`market`] — the deterministic event-driven marketplace loop
 //!   driving pluggable worker behaviours against a pluggable
 //!   [`ExternalQuestionServer`] (the role iCrowd or any baseline plays).
+//! * [`driver`] — the same loop as a suspendable state machine
+//!   ([`MarketDriver`]), split at the answer point so a TCP serving
+//!   layer can host the identical deterministic schedule.
 //! * [`payment`] — the payment ledger.
 //! * [`events`] — a structured, serializable event log for replay and
 //!   debugging.
@@ -31,6 +34,7 @@
 #![warn(clippy::dbg_macro)]
 
 pub mod concurrent;
+pub mod driver;
 pub mod events;
 pub mod faults;
 pub mod hit;
@@ -38,6 +42,7 @@ pub mod market;
 pub mod payment;
 pub mod session;
 
+pub use driver::{MarketDriver, PendingAssignment, PollOutcome, SubmitReport, TurnOutcome};
 pub use events::{EventLog, MarketEvent, RejectReason};
 pub use faults::{ChurnSpike, FaultConfig, FaultPlan, FaultStats};
 pub use hit::{HitId, HitPool};

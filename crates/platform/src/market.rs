@@ -15,18 +15,14 @@
 //! the plain code paths, so fault-free runs are bit-identical to
 //! `run_sequential`.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use icrowd_core::answer::Answer;
 use icrowd_core::task::{Microtask, TaskId, TaskSet};
 use icrowd_core::worker::Tick;
 
-use crate::events::{EventLog, MarketEvent, RejectReason};
-use crate::faults::{FaultConfig, FaultPlan, FaultStats};
-use crate::hit::HitPool;
+use crate::driver::{MarketDriver, TurnOutcome};
+use crate::events::{EventLog, RejectReason};
+use crate::faults::{FaultConfig, FaultStats};
 use crate::payment::PaymentLedger;
-use crate::session::WorkerSession;
 
 /// The server's verdict on a submitted answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,40 +179,6 @@ pub struct Marketplace {
     config: MarketConfig,
 }
 
-struct WorkerState<'a> {
-    external_id: String,
-    script: WorkerScript,
-    behavior: Box<dyn WorkerBehavior + 'a>,
-    session: Option<WorkerSession>,
-    answered_total: usize,
-    declines: u32,
-    /// Next churn spike this worker has not yet rolled against.
-    churn_idx: usize,
-}
-
-/// A heap entry's payload: a worker's next turn, or the deferred
-/// delivery of a late answer (indexing the side table of deliveries).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Pending {
-    Turn(usize),
-    Deliver(usize),
-}
-
-/// A late answer in flight: produced at assignment time, delivered to
-/// the server several ticks later.
-#[derive(Debug, Clone, Copy)]
-struct Delivery {
-    wi: usize,
-    task: TaskId,
-    answer: Answer,
-}
-
-fn fault_counter(name: &str) {
-    if icrowd_obs::is_enabled() {
-        icrowd_obs::counter_add(name, 1);
-    }
-}
-
 impl Marketplace {
     /// Creates a marketplace publishing HITs over `tasks`.
     pub fn new(tasks: TaskSet, config: MarketConfig) -> Self {
@@ -244,6 +206,10 @@ impl Marketplace {
     /// [`Self::run_sequential`] with an optional fault plan injected
     /// between the workers and the server. With `faults: None` the run is
     /// bit-identical to `run_sequential`.
+    ///
+    /// The schedule itself lives in [`MarketDriver`]; this wrapper only
+    /// closes the assignment → answer gap with a direct behaviour call,
+    /// so the served (networked) and in-process paths run the same code.
     pub fn run_with_faults<'a>(
         &self,
         server: &mut dyn ExternalQuestionServer,
@@ -251,424 +217,21 @@ impl Marketplace {
         faults: Option<FaultConfig>,
     ) -> MarketOutcome {
         let _span = icrowd_obs::span!("market.run");
-        let mut plan = faults.map(FaultPlan::new);
-        let mut pool = HitPool::publish(
-            self.config.num_hits,
-            self.config.assignments_per_hit,
-            self.config.tasks_per_hit,
-            self.config.reward_cents,
-        );
-        let mut ledger = PaymentLedger::new();
-        let mut events = EventLog::new();
-        let mut accounting = MarketAccounting::default();
-        let mut end = Tick::ZERO;
-        let mut answers = 0usize;
-
-        let mut states: Vec<WorkerState<'a>> = workers
-            .into_iter()
-            .enumerate()
-            .map(|(i, (script, behavior))| WorkerState {
-                external_id: format!("W{}", i + 1),
-                script,
-                behavior,
-                session: None,
-                answered_total: 0,
-                declines: 0,
-                churn_idx: 0,
-            })
-            .collect();
-
-        // Min-heap of (tick, sequence, payload).
-        let mut heap: BinaryHeap<Reverse<(u64, u64, Pending)>> = BinaryHeap::new();
-        let mut deliveries: Vec<Delivery> = Vec::new();
-        let mut seq = 0u64;
-        for (i, st) in states.iter().enumerate() {
-            heap.push(Reverse((st.script.arrival.0, seq, Pending::Turn(i))));
-            seq += 1;
+        let (scripts, mut behaviors): (Vec<WorkerScript>, Vec<Box<dyn WorkerBehavior + 'a>>) =
+            workers.into_iter().unzip();
+        let mut driver = MarketDriver::new(self.tasks.clone(), self.config, scripts, faults);
+        while let TurnOutcome::Assigned { worker, task } = driver.advance(server) {
+            let answer = behaviors[worker].answer(&self.tasks[task]);
+            driver.submit_scheduled(worker, answer, server);
         }
-
-        while let Some(Reverse((tick, _, pending))) = heap.pop() {
-            let now = Tick(tick);
-            end = end.max(now);
-
-            // A late answer reaches the server. The session has been
-            // `Working` since assignment (no turn is queued while a
-            // delivery is in flight), so this is delivered even after
-            // campaign completion — the server rejects it as stale.
-            if let Pending::Deliver(di) = pending {
-                let Delivery { wi, task, answer } = deliveries[di];
-                let st = &mut states[wi];
-                answers += Self::deliver(
-                    &mut *server,
-                    st,
-                    task,
-                    answer,
-                    now,
-                    plan.as_mut(),
-                    &mut ledger,
-                    &mut events,
-                    &mut accounting,
-                    &self.config,
-                );
-                heap.push(Reverse((
-                    now.0 + st.script.ticks_per_answer,
-                    seq,
-                    Pending::Turn(wi),
-                )));
-                seq += 1;
-                continue;
-            }
-            let Pending::Turn(wi) = pending else {
-                unreachable!()
-            };
-            let st = &mut states[wi];
-
-            // Campaign over: close out any open session and drop the worker.
-            if server.is_complete() {
-                Self::leave(
-                    st,
-                    &mut pool,
-                    &mut ledger,
-                    &mut events,
-                    &mut accounting,
-                    now,
-                    &self.config,
-                );
-                continue;
-            }
-
-            // Churn spike: the worker rolls against every spike whose tick
-            // has passed since her last turn, and departs on the first hit.
-            if let Some(p) = plan.as_mut() {
-                let mut departed = false;
-                while st.churn_idx < p.num_spikes() && now.0 >= p.spike_at(st.churn_idx) {
-                    let hit = p.churn_hits(st.churn_idx);
-                    st.churn_idx += 1;
-                    if hit {
-                        departed = true;
-                        break;
-                    }
-                }
-                if departed {
-                    accounting.churned += 1;
-                    fault_counter("fault.churn");
-                    events.push(MarketEvent::WorkerChurned {
-                        at: now,
-                        worker: st.external_id.clone(),
-                    });
-                    Self::leave(
-                        st,
-                        &mut pool,
-                        &mut ledger,
-                        &mut events,
-                        &mut accounting,
-                        now,
-                        &self.config,
-                    );
-                    continue;
-                }
-            }
-
-            // Worker exhausted her budget: leave.
-            if st.answered_total >= st.script.max_answers {
-                Self::leave(
-                    st,
-                    &mut pool,
-                    &mut ledger,
-                    &mut events,
-                    &mut accounting,
-                    now,
-                    &self.config,
-                );
-                continue;
-            }
-
-            // Ensure the worker holds a HIT.
-            if st.session.is_none() {
-                match pool.accept_any() {
-                    Some(hit) => {
-                        st.session = Some(WorkerSession::open(st.external_id.clone(), hit, now));
-                        events.push(MarketEvent::HitAccepted {
-                            at: now,
-                            worker: st.external_id.clone(),
-                            hit,
-                        });
-                    }
-                    None => continue, // marketplace sold out; worker leaves
-                }
-            }
-
-            // Request a microtask.
-            match server.request_task(&st.external_id, now) {
-                Some(task) => {
-                    st.declines = 0;
-                    events.push(MarketEvent::TaskAssigned {
-                        at: now,
-                        worker: st.external_id.clone(),
-                        task,
-                    });
-                    let session = st.session.as_mut().expect("session ensured above");
-                    // Re-requesting a dropped answer's task re-issues the
-                    // same in-flight assignment; the session is already
-                    // `Ready` after the abort, so `assign` is safe.
-                    session.assign(task);
-                    let answer = st.behavior.answer(&self.tasks[task]);
-                    st.answered_total += 1;
-
-                    if let Some(p) = plan.as_mut() {
-                        // Stall: the worker sits on the assignment forever.
-                        // No further events for her; her lease expires
-                        // server-side and her HIT is abandoned at cleanup.
-                        if p.stall() {
-                            accounting.stalled += 1;
-                            fault_counter("fault.stall");
-                            events.push(MarketEvent::WorkerStalled {
-                                at: now,
-                                worker: st.external_id.clone(),
-                                task,
-                            });
-                            continue;
-                        }
-                        // Drop: the submission is lost in transit. The
-                        // worker notices nothing and re-requests next turn.
-                        if p.drop_answer() {
-                            accounting.answers_dropped += 1;
-                            fault_counter("fault.drop");
-                            session.abort_task();
-                            events.push(MarketEvent::AnswerDropped {
-                                at: now,
-                                worker: st.external_id.clone(),
-                                task,
-                            });
-                            heap.push(Reverse((
-                                now.0 + st.script.ticks_per_answer,
-                                seq,
-                                Pending::Turn(wi),
-                            )));
-                            seq += 1;
-                            continue;
-                        }
-                        // Late: the answer arrives `delay` ticks from now;
-                        // the worker's next turn follows the delivery.
-                        if let Some(delay) = p.late_delay() {
-                            fault_counter("fault.late");
-                            deliveries.push(Delivery { wi, task, answer });
-                            heap.push(Reverse((
-                                now.0 + delay,
-                                seq,
-                                Pending::Deliver(deliveries.len() - 1),
-                            )));
-                            seq += 1;
-                            continue;
-                        }
-                    }
-
-                    answers += Self::deliver(
-                        &mut *server,
-                        st,
-                        task,
-                        answer,
-                        now,
-                        plan.as_mut(),
-                        &mut ledger,
-                        &mut events,
-                        &mut accounting,
-                        &self.config,
-                    );
-                    heap.push(Reverse((
-                        now.0 + st.script.ticks_per_answer,
-                        seq,
-                        Pending::Turn(wi),
-                    )));
-                    seq += 1;
-                }
-                None => {
-                    events.push(MarketEvent::RequestDeclined {
-                        at: now,
-                        worker: st.external_id.clone(),
-                    });
-                    st.declines += 1;
-                    if st.declines <= self.config.max_retries {
-                        heap.push(Reverse((
-                            now.0 + self.config.retry_backoff,
-                            seq,
-                            Pending::Turn(wi),
-                        )));
-                        seq += 1;
-                    } else {
-                        Self::leave(
-                            st,
-                            &mut pool,
-                            &mut ledger,
-                            &mut events,
-                            &mut accounting,
-                            now,
-                            &self.config,
-                        );
-                    }
-                }
-            }
-        }
-
-        // Close any sessions still open when events ran out (including
-        // stalled workers, whose sessions are still `Working`).
-        let final_tick = end;
-        for st in &mut states {
-            Self::leave(
-                st,
-                &mut pool,
-                &mut ledger,
-                &mut events,
-                &mut accounting,
-                final_tick,
-                &self.config,
-            );
-        }
-
-        events.export_to_obs();
-        let faults = plan.as_ref().map(FaultPlan::stats).unwrap_or_default();
-        MarketOutcome {
-            ledger,
-            events,
-            end,
-            answers,
-            accounting,
-            faults,
-        }
-    }
-
-    /// Delivers one answer to the server and settles the outcome:
-    /// accepted answers credit the session (and may complete the HIT),
-    /// rejected answers abort the in-flight task without credit. Returns
-    /// the number of answers accepted (0 or 1).
-    #[allow(clippy::too_many_arguments)]
-    fn deliver(
-        server: &mut dyn ExternalQuestionServer,
-        st: &mut WorkerState<'_>,
-        task: TaskId,
-        answer: Answer,
-        now: Tick,
-        plan: Option<&mut FaultPlan>,
-        ledger: &mut PaymentLedger,
-        events: &mut EventLog,
-        accounting: &mut MarketAccounting,
-        config: &MarketConfig,
-    ) -> usize {
-        accounting.answers_submitted += 1;
-        events.push(MarketEvent::AnswerSubmitted {
-            at: now,
-            worker: st.external_id.clone(),
-            task,
-            answer,
-        });
-        match server.submit_answer(&st.external_id, task, answer, now) {
-            SubmitOutcome::Accepted => {
-                let session = st.session.as_mut().expect("delivery requires a session");
-                session.complete_task();
-                accounting.answers_accepted += 1;
-
-                // Duplicate: the same accepted answer is delivered again.
-                // A compliant server refuses the copy; if it accepts, the
-                // extra acceptance has no session credit and `balanced()`
-                // exposes the double-count.
-                if let Some(p) = plan {
-                    if p.duplicate() {
-                        fault_counter("fault.dup");
-                        accounting.answers_submitted += 1;
-                        events.push(MarketEvent::AnswerSubmitted {
-                            at: now,
-                            worker: st.external_id.clone(),
-                            task,
-                            answer,
-                        });
-                        match server.submit_answer(&st.external_id, task, answer, now) {
-                            SubmitOutcome::Accepted => accounting.answers_accepted += 1,
-                            SubmitOutcome::Rejected(reason) => {
-                                accounting.answers_rejected += 1;
-                                events.push(MarketEvent::AnswerRejected {
-                                    at: now,
-                                    worker: st.external_id.clone(),
-                                    task,
-                                    reason,
-                                });
-                            }
-                        }
-                    }
-                }
-
-                // HIT complete → pay and release the session.
-                let session = st.session.as_mut().expect("session still open");
-                if session.hit_finished(config.tasks_per_hit) {
-                    let hit = session.hit;
-                    accounting.answers_paid += session.answered as u64;
-                    session.close();
-                    st.session = None;
-                    ledger.pay(&st.external_id, hit, config.reward_cents);
-                    events.push(MarketEvent::HitSubmitted {
-                        at: now,
-                        worker: st.external_id.clone(),
-                        hit,
-                        reward_cents: config.reward_cents,
-                    });
-                }
-                1
-            }
-            SubmitOutcome::Rejected(reason) => {
-                let session = st.session.as_mut().expect("delivery requires a session");
-                session.abort_task();
-                accounting.answers_rejected += 1;
-                events.push(MarketEvent::AnswerRejected {
-                    at: now,
-                    worker: st.external_id.clone(),
-                    task,
-                    reason,
-                });
-                0
-            }
-        }
-    }
-
-    /// Closes a worker's open session: pays a finished HIT, abandons a
-    /// partial one (returning the slot to the pool).
-    fn leave(
-        st: &mut WorkerState<'_>,
-        pool: &mut HitPool,
-        ledger: &mut PaymentLedger,
-        events: &mut EventLog,
-        accounting: &mut MarketAccounting,
-        now: Tick,
-        config: &MarketConfig,
-    ) {
-        let Some(mut session) = st.session.take() else {
-            return;
-        };
-        let hit = session.hit;
-        if session.hit_finished(config.tasks_per_hit) {
-            accounting.answers_paid += session.answered as u64;
-            ledger.pay(&st.external_id, hit, config.reward_cents);
-            events.push(MarketEvent::HitSubmitted {
-                at: now,
-                worker: st.external_id.clone(),
-                hit,
-                reward_cents: config.reward_cents,
-            });
-        } else {
-            accounting.answers_abandoned += session.answered as u64;
-            pool.release(hit);
-            events.push(MarketEvent::HitAbandoned {
-                at: now,
-                worker: st.external_id.clone(),
-                hit,
-                answered: session.answered,
-            });
-        }
-        session.close();
+        driver.into_outcome()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::MarketEvent;
     use icrowd_core::task::Microtask;
     use std::collections::BTreeMap;
 

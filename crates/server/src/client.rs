@@ -1,0 +1,81 @@
+//! A minimal blocking protocol client: one line out, one line back.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::protocol::Request;
+
+/// One protocol connection. Connections are cheap and stateless;
+/// the load generator opens one per poll cycle.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    buf: String,
+}
+
+impl Conn {
+    /// Connects to the server.
+    ///
+    /// # Errors
+    /// Propagates socket errors as strings.
+    pub fn open<A: ToSocketAddrs>(addr: A) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+            buf: String::new(),
+        })
+    }
+
+    /// Connects with retries — covers the window between spawning a
+    /// server process and its listener binding.
+    ///
+    /// # Errors
+    /// The last connect error once `attempts` are exhausted.
+    pub fn open_retry<A: ToSocketAddrs + Copy>(addr: A, attempts: u32) -> Result<Conn, String> {
+        let mut last = "no attempts".to_owned();
+        for i in 0..attempts.max(1) {
+            match Conn::open(addr) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => last = e,
+            }
+            std::thread::sleep(Duration::from_millis(20 * u64::from(i + 1)));
+        }
+        Err(last)
+    }
+
+    /// Sends one request and reads one response line.
+    ///
+    /// # Errors
+    /// I/O failures, closed connections, and unparseable responses.
+    pub fn call(&mut self, req: &Request) -> Result<Value, String> {
+        serde_json::write_to_string(&req.to_value(), &mut self.buf);
+        self.buf.push('\n');
+        self.writer
+            .write_all(self.buf.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if line.is_empty() {
+            return Err("connection closed by server".to_owned());
+        }
+        serde_json::from_str(&line).map_err(|_| format!("unparseable response: {line}"))
+    }
+}
+
+/// Opens a fresh connection, issues one request, and closes.
+///
+/// # Errors
+/// See [`Conn::call`].
+pub fn call_once<A: ToSocketAddrs>(addr: A, req: &Request) -> Result<Value, String> {
+    Conn::open(addr)?.call(req)
+}

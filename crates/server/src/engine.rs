@@ -1,0 +1,401 @@
+//! The shared campaign state behind the serving layer.
+//!
+//! [`CampaignEngine`] owns a [`MarketDriver`] plus the approach's
+//! `ExternalQuestionServer` under one mutex — the deterministic
+//! `(tick, sequence)` schedule is inherently serial, so concurrency at
+//! the transport layer collapses to an ordered stream of `poll` /
+//! `submit` calls here. Because both the in-process harness and this
+//! engine drive the *identical* driver code in the identical order, a
+//! served campaign's consensus labels are byte-identical to an
+//! in-process `run_campaign` at the same seed.
+//!
+//! Per-worker serving statistics (polls, assignments, verdicts) have no
+//! ordering constraints and live outside the campaign lock in a
+//! [`Sharded`] striped-lock map.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::TaskId;
+use icrowd_platform::market::ExternalQuestionServer;
+use icrowd_platform::{MarketDriver, PollOutcome, SubmitReport};
+use icrowd_sim::campaign::{
+    labels_lines, prepare_campaign, score_campaign, Approach, CampaignConfig, CampaignResult,
+    CampaignServer,
+};
+use icrowd_sim::datasets::Dataset;
+
+use crate::protocol::{Request, Response};
+use crate::sharded::Sharded;
+
+/// Per-worker serving statistics, updated outside the campaign lock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkerStats {
+    /// `REQUEST_TASK` calls.
+    pub polls: u64,
+    /// Polls that returned an assignment.
+    pub assigned: u64,
+    /// `SUBMIT_ANSWER` calls.
+    pub submitted: u64,
+    /// Submissions the server accepted.
+    pub accepted: u64,
+}
+
+struct Core {
+    driver: MarketDriver,
+    backend: CampaignServer,
+}
+
+/// One campaign served over the wire. See the module docs.
+pub struct CampaignEngine {
+    core: Mutex<Core>,
+    stats: Sharded<WorkerStats>,
+    dataset_key: String,
+    dataset: Dataset,
+    approach: Approach,
+    config: CampaignConfig,
+    gold: Vec<TaskId>,
+    start: Instant,
+}
+
+impl CampaignEngine {
+    /// Prepares a campaign for serving: offline work (graph + gold
+    /// selection) runs here, exactly as `run_campaign` would, and the
+    /// marketplace driver is built from the same
+    /// [`icrowd_sim::campaign::CampaignSetup`].
+    ///
+    /// `dataset_key` is the name clients feed to
+    /// [`icrowd_sim::datasets::by_name`] to regenerate `dataset`.
+    pub fn new(
+        dataset_key: &str,
+        dataset: Dataset,
+        approach: Approach,
+        config: CampaignConfig,
+    ) -> Self {
+        let setup = prepare_campaign(&dataset, approach, &config);
+        let driver = MarketDriver::new(
+            dataset.tasks.clone(),
+            setup.market,
+            setup.scripts,
+            config.faults.clone(),
+        );
+        Self {
+            core: Mutex::new(Core {
+                driver,
+                backend: setup.server,
+            }),
+            stats: Sharded::new(),
+            dataset_key: dataset_key.to_owned(),
+            dataset,
+            approach,
+            config,
+            gold: setup.gold,
+            start: Instant::now(),
+        }
+    }
+
+    /// Handles one request. `queue_depth` is the transport's current
+    /// connection backlog, echoed in `STATUS`.
+    pub fn handle(&self, req: &Request, queue_depth: usize) -> Response {
+        match req {
+            Request::Hello => Response::Hello {
+                dataset: self.dataset_key.clone(),
+                seed: self.config.seed,
+                workers: self.dataset.workers.len(),
+                tasks: self.dataset.tasks.len(),
+                approach: self.approach.name(),
+            },
+            Request::RequestTask { worker } => self.request_task(worker),
+            Request::SubmitAnswer {
+                worker,
+                task,
+                answer,
+            } => self.submit_answer(worker, *task, *answer),
+            Request::Status => self.status(queue_depth),
+            Request::Results => Response::Results {
+                labels: self.labels(),
+            },
+            Request::Shutdown => Response::Bye,
+        }
+    }
+
+    fn request_task(&self, worker: &str) -> Response {
+        let _span = icrowd_obs::span!("serve.request");
+        let outcome = {
+            let mut core = self.core.lock().expect("campaign lock poisoned");
+            let Core { driver, backend } = &mut *core;
+            driver.poll(backend, worker)
+        };
+        self.stats.update(worker, |s| {
+            s.polls += 1;
+            if matches!(outcome, PollOutcome::Assigned(_)) {
+                s.assigned += 1;
+            }
+        });
+        match outcome {
+            PollOutcome::Assigned(task) => Response::Task(task),
+            PollOutcome::Wait => Response::Wait,
+            PollOutcome::Declined { retry } => Response::Declined { retry },
+            PollOutcome::Left => Response::Left,
+        }
+    }
+
+    fn submit_answer(&self, worker: &str, task: TaskId, answer: Answer) -> Response {
+        let _span = icrowd_obs::span!("serve.submit");
+        let resp = {
+            let mut core = self.core.lock().expect("campaign lock poisoned");
+            let Core { driver, backend } = &mut *core;
+            // The scheduled path is only for the assignment the driver
+            // is suspended on; everything else (duplicates, unsolicited
+            // submissions from misbehaving clients) goes through the
+            // stray path, which validates without touching the schedule.
+            let scheduled = driver
+                .pending()
+                .filter(|p| driver.external_id(p.worker) == worker && p.task == task);
+            let resp = match scheduled {
+                Some(p) => match driver.submit_scheduled(p.worker, answer, backend) {
+                    SubmitReport::Delivered(outcome) => Response::from_outcome(outcome),
+                    SubmitReport::Dropped => Response::Submit {
+                        result: "dropped",
+                        reason: None,
+                    },
+                    SubmitReport::Stalled => Response::Submit {
+                        result: "stalled",
+                        reason: None,
+                    },
+                    SubmitReport::Deferred => Response::Submit {
+                        result: "deferred",
+                        reason: None,
+                    },
+                },
+                None => Response::from_outcome(driver.submit_stray(backend, worker, task, answer)),
+            };
+            // The continuous conservation law must hold after every
+            // submission; a violation means a verdict was double-counted.
+            let a = driver.accounting();
+            if a.answers_accepted + a.answers_rejected != a.answers_submitted {
+                icrowd_obs::counter_add("serve.invariant_violation", 1);
+            }
+            resp
+        };
+        self.stats.update(worker, |s| {
+            s.submitted += 1;
+            if matches!(
+                resp,
+                Response::Submit {
+                    result: "accepted",
+                    ..
+                }
+            ) {
+                s.accepted += 1;
+            }
+        });
+        resp
+    }
+
+    fn status(&self, queue_depth: usize) -> Response {
+        let mut core = self.core.lock().expect("campaign lock poisoned");
+        let Core { driver, backend } = &mut *core;
+        // Pump deferred (late) deliveries so progress keeps moving even
+        // after every worker left, and the final sweep runs once the
+        // schedule drains.
+        driver.pump(backend);
+        let a = driver.accounting();
+        Response::Status {
+            complete: backend.is_complete(),
+            finished: driver.is_finished(),
+            answers: driver.answers(),
+            accounting: a,
+            balanced: a.answers_accepted + a.answers_rejected == a.answers_submitted,
+            queue_depth,
+            workers_seen: self.stats.len(),
+        }
+    }
+
+    /// Current consensus labels in canonical line format.
+    pub fn labels(&self) -> String {
+        let mut core = self.core.lock().expect("campaign lock poisoned");
+        let Core { driver, backend } = &mut *core;
+        driver.pump(backend);
+        let results = backend.results(self.config.weighted_aggregation);
+        let mut labels: Vec<(TaskId, Answer)> = results.into_iter().collect();
+        labels.sort_unstable_by_key(|(t, _)| *t);
+        labels_lines(&labels)
+    }
+
+    /// A copy of one worker's serving statistics.
+    pub fn worker_stats(&self, worker: &str) -> Option<WorkerStats> {
+        self.stats.get(worker, |s| *s)
+    }
+
+    /// Drains the campaign into its scored result: pumps stragglers,
+    /// forces the final sweep if the schedule did not complete, and
+    /// scores exactly as the in-process harness does.
+    pub fn finalize(self) -> CampaignResult {
+        let core = self.core.into_inner().expect("campaign lock poisoned");
+        let Core {
+            mut driver,
+            mut backend,
+        } = core;
+        driver.pump(&mut backend);
+        if !driver.is_finished() {
+            driver.finish_now();
+        }
+        let outcome = driver.into_outcome();
+        score_campaign(
+            &self.dataset,
+            self.approach,
+            &self.config,
+            &mut backend,
+            self.gold,
+            &outcome,
+            self.start.elapsed().as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_core::config::ICrowdConfig;
+    use icrowd_sim::campaign::MetricChoice;
+    use icrowd_sim::datasets::table1;
+
+    fn quick_config() -> CampaignConfig {
+        let mut config = CampaignConfig {
+            metric: MetricChoice::Jaccard,
+            icrowd: ICrowdConfig {
+                similarity_threshold: 0.3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        config.icrowd.warmup.num_qualification = 3;
+        config
+    }
+
+    fn engine() -> CampaignEngine {
+        CampaignEngine::new("table1", table1(), Approach::RandomMV, quick_config())
+    }
+
+    /// Drives a whole campaign through the request interface, exactly as
+    /// remote pollers would, and checks the drain matches in-process.
+    #[test]
+    fn engine_driven_campaign_matches_in_process_labels() {
+        let ds = table1();
+        let config = quick_config();
+        let expected = icrowd_sim::campaign::run_campaign(&ds, Approach::RandomMV, &config);
+
+        let eng = engine();
+        let workers: Vec<String> = (1..=ds.workers.len()).map(|i| format!("W{i}")).collect();
+        let sims = ds.spawn_workers(config.seed);
+        let mut sims: Vec<_> = sims.into_iter().map(Some).collect();
+        let mut live = workers.len();
+        let mut guard = 0;
+        while live > 0 {
+            guard += 1;
+            assert!(guard < 1_000_000, "engine livelocked");
+            for (i, w) in workers.iter().enumerate() {
+                let Some(sim) = sims[i].as_mut() else {
+                    continue;
+                };
+                match eng.handle(&Request::RequestTask { worker: w.clone() }, 0) {
+                    Response::Task(task) => {
+                        let answer =
+                            icrowd_platform::market::WorkerBehavior::answer(sim, &ds.tasks[task]);
+                        let resp = eng.handle(
+                            &Request::SubmitAnswer {
+                                worker: w.clone(),
+                                task,
+                                answer,
+                            },
+                            0,
+                        );
+                        assert!(
+                            matches!(resp, Response::Submit { .. }),
+                            "unexpected submit response {resp:?}"
+                        );
+                    }
+                    Response::Wait | Response::Declined { retry: true } => {}
+                    Response::Left | Response::Declined { retry: false } => {
+                        sims[i] = None;
+                        live -= 1;
+                    }
+                    other => panic!("unexpected poll response {other:?}"),
+                }
+            }
+        }
+        let labels = eng.labels();
+        let result = eng.finalize();
+        assert_eq!(labels, labels_lines(&expected.labels));
+        assert_eq!(labels_lines(&result.labels), labels_lines(&expected.labels));
+        assert_eq!(result.answers, expected.answers);
+        assert_eq!(result.spend_cents, expected.spend_cents);
+        assert!(result.accounting.balanced());
+    }
+
+    #[test]
+    fn stray_submission_is_rejected_and_accounted() {
+        let eng = engine();
+        let resp = eng.handle(
+            &Request::SubmitAnswer {
+                worker: "W1".into(),
+                task: TaskId(0),
+                answer: Answer(0),
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                resp,
+                Response::Submit {
+                    result: "rejected",
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        match eng.handle(&Request::Status, 0) {
+            Response::Status {
+                balanced,
+                accounting,
+                ..
+            } => {
+                assert!(balanced);
+                assert_eq!(accounting.answers_rejected, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finalize_mid_campaign_still_balances() {
+        let eng = engine();
+        // One real poll so a session opens, then drain immediately.
+        let mut polled = false;
+        for i in 1..=5 {
+            if let Response::Task(task) = eng.handle(
+                &Request::RequestTask {
+                    worker: format!("W{i}"),
+                },
+                0,
+            ) {
+                let _ = eng.handle(
+                    &Request::SubmitAnswer {
+                        worker: format!("W{i}"),
+                        task,
+                        answer: Answer(0),
+                    },
+                    0,
+                );
+                polled = true;
+                break;
+            }
+        }
+        assert!(polled, "no worker could be assigned");
+        let result = eng.finalize();
+        assert!(result.accounting.balanced());
+        assert!(!result.completed);
+    }
+}

@@ -1,0 +1,45 @@
+//! # icrowd-serve
+//!
+//! A zero-dependency concurrent TCP serving layer and load generator
+//! for the marketplace loop — the networked deployment of the paper's
+//! Appendix A, where AMT workers reach iCrowd through its web server's
+//! ExternalQuestion endpoint.
+//!
+//! The server fronts one campaign (a [`icrowd_platform::MarketDriver`]
+//! plus an `ExternalQuestionServer`) behind a line-delimited JSON
+//! protocol:
+//!
+//! * [`protocol`] — request/response grammar (`HELLO`, `REQUEST_TASK`,
+//!   `SUBMIT_ANSWER`, `STATUS`, `RESULTS`, `SHUTDOWN`).
+//! * [`engine`] — the shared campaign state: every mutation funnels
+//!   through the driver's `poll`/`submit` paths, so `SubmitOutcome`
+//!   validation and the `MarketAccounting` conservation laws hold under
+//!   concurrent clients, and the final consensus is byte-identical to
+//!   an in-process run at the same seed.
+//! * [`sharded`] — a striped-lock map for per-worker statistics that
+//!   are updated concurrently outside the campaign lock.
+//! * [`server`] — one acceptor thread plus a fixed handler pool fed by
+//!   a bounded channel; a full queue rejects with `BUSY`
+//!   (accept-then-reject backpressure), and shutdown drains in-flight
+//!   connections before finalizing the campaign.
+//! * [`client`] — a minimal blocking protocol client.
+//! * [`loadgen`] — N concurrent simulated workers (rebuilt from the
+//!   server's `HELLO` announcement) driving a campaign to completion,
+//!   reporting throughput and p50/p99 latency via `icrowd-obs`.
+
+#![warn(missing_docs)]
+#![warn(clippy::dbg_macro)]
+
+pub mod client;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod sharded;
+
+pub use client::Conn;
+pub use engine::CampaignEngine;
+pub use loadgen::{run_loadgen, ClientFaultConfig, LoadgenConfig, LoadgenReport};
+pub use protocol::{Request, Response};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use sharded::Sharded;

@@ -1,0 +1,510 @@
+//! The load generator: N concurrent client threads multiplexing the
+//! campaign's simulated worker roster against a running server.
+//!
+//! From the server's `HELLO` announcement the generator regenerates the
+//! dataset and worker population locally (`by_name(dataset, seed)` +
+//! `spawn_workers(seed)` — the same construction the in-process harness
+//! uses), so each logical worker answers with the *identical* RNG
+//! stream: one draw per assignment, in the order the server's
+//! deterministic schedule issues assignments. That is what makes the
+//! served campaign's consensus byte-identical to `run_campaign` at the
+//! same seed.
+//!
+//! Logical workers sit in a shared dispenser queue; each client thread
+//! pops one, runs one poll cycle (one connection: `REQUEST_TASK`, and
+//! on assignment `SUBMIT_ANSWER`), and returns the worker to the queue
+//! — so any number of threads drives any roster size, and "64
+//! concurrent workers" means 64 real connections in flight, even
+//! though the schedule serializes turns.
+//!
+//! Client-side fault injection covers the misbehaviours a *client* can
+//! produce: duplicate submissions (`dup`) and late submissions
+//! (`late`). Drops and stalls are server-side faults (`icrowd serve
+//! --faults`) — a client that goes silent on a scheduled assignment
+//! would wedge the campaign, which is the lease/fault machinery's
+//! domain, not the load generator's.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use icrowd_platform::market::WorkerBehavior;
+use icrowd_sim::datasets::{by_name, Dataset};
+use icrowd_sim::worker_model::SimWorker;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+
+use crate::client::Conn;
+use crate::protocol::Request;
+
+/// Client-side fault plan: rates in `[0,1]`, deterministic under `seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientFaultConfig {
+    /// Probability a submission is sent twice (the copy is stray).
+    pub dup: f64,
+    /// Probability a submission is delayed by [`Self::late_ms`].
+    pub late: f64,
+    /// Delay for late submissions, milliseconds.
+    pub late_ms: u64,
+    /// RNG seed for the fault draws.
+    pub seed: u64,
+}
+
+impl ClientFaultConfig {
+    /// Parses a `dup=0.1,late=0.05:20,seed=7` spec.
+    ///
+    /// # Errors
+    /// Unknown keys, unparseable numbers, and rates outside `[0,1]` —
+    /// reported, never panicked.
+    pub fn parse(spec: &str) -> Result<ClientFaultConfig, String> {
+        let mut out = ClientFaultConfig {
+            dup: 0.0,
+            late: 0.0,
+            late_ms: 10,
+            seed: 0,
+        };
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{part}`"))?;
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid rate `{v}` for `{key}`"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("rate `{v}` for `{key}` outside [0,1]"));
+                }
+                Ok(r)
+            };
+            match key {
+                "dup" => out.dup = rate(value)?,
+                "late" => match value.split_once(':') {
+                    Some((r, ms)) => {
+                        out.late = rate(r)?;
+                        out.late_ms = ms
+                            .parse()
+                            .map_err(|_| format!("invalid late delay `{ms}`"))?;
+                    }
+                    None => out.late = rate(value)?,
+                },
+                "seed" => {
+                    out.seed = value
+                        .parse()
+                        .map_err(|_| format!("invalid seed `{value}`"))?;
+                }
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Number of concurrent client threads.
+    pub workers: usize,
+    /// Think time between a worker's poll cycles, milliseconds.
+    pub think_ms: u64,
+    /// Client-side fault plan.
+    pub faults: Option<ClientFaultConfig>,
+    /// Send `SHUTDOWN` after the campaign completes.
+    pub shutdown: bool,
+    /// Fetch the final consensus labels via `RESULTS`.
+    pub fetch_labels: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7700".to_owned(),
+            workers: 8,
+            think_ms: 0,
+            faults: None,
+            shutdown: true,
+            fetch_labels: true,
+        }
+    }
+}
+
+/// What a load-generation run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Roster size announced by the server.
+    pub roster: usize,
+    /// Client threads run.
+    pub threads: usize,
+    /// Total protocol requests issued.
+    pub requests: u64,
+    /// Duplicate submissions injected (client faults).
+    pub dups_sent: u64,
+    /// Answers the server accepted (final `STATUS`).
+    pub accepted: u64,
+    /// Submissions the server rejected.
+    pub rejected: u64,
+    /// Every task reached consensus.
+    pub complete: bool,
+    /// The accounting conservation law held at the end.
+    pub balanced: bool,
+    /// Wall-clock duration of the drive phase.
+    pub elapsed: Duration,
+    /// Accepted answers per second.
+    pub throughput: f64,
+    /// p50/p99 of `REQUEST_TASK` round-trips, microseconds.
+    pub request_p50_us: f64,
+    /// p99 of `REQUEST_TASK` round-trips, microseconds.
+    pub request_p99_us: f64,
+    /// p50 of `SUBMIT_ANSWER` round-trips, microseconds.
+    pub submit_p50_us: f64,
+    /// p99 of `SUBMIT_ANSWER` round-trips, microseconds.
+    pub submit_p99_us: f64,
+    /// Final consensus labels (when fetched).
+    pub labels: Option<String>,
+}
+
+/// One logical worker in the dispenser.
+struct Logical {
+    external: String,
+    sim: SimWorker,
+    rng: Option<StdRng>,
+}
+
+/// How one poll cycle left its worker.
+enum Cycle {
+    /// Work continues; return the worker to the dispenser.
+    Continue { answered: bool },
+    /// The worker is done (left, gave up, or stalled).
+    Done,
+    /// Transient pressure (`BUSY`); back off and retry.
+    Backoff,
+    /// Transport error; retry a few times, then abort the run.
+    Error(String),
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Logical>>,
+    live: AtomicUsize,
+    requests: AtomicU64,
+    dups_sent: AtomicU64,
+    abort: AtomicBool,
+    error: Mutex<Option<String>>,
+}
+
+/// Drives a full campaign against the server at `config.addr`.
+///
+/// # Errors
+/// Connection failures, protocol violations, and unknown datasets in
+/// the server's announcement.
+pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if config.workers == 0 {
+        return Err("loadgen needs at least one worker thread".to_owned());
+    }
+    if !icrowd_obs::is_enabled() {
+        icrowd_obs::enable();
+    }
+
+    // Campaign announcement → regenerate the roster locally.
+    let hello = Conn::open_retry(config.addr.as_str(), 25)?.call(&Request::Hello)?;
+    expect_ok(&hello, "hello")?;
+    let dataset_key = hello
+        .get("dataset")
+        .and_then(Value::as_str)
+        .ok_or("hello carries no dataset")?;
+    let seed = hello
+        .get("seed")
+        .and_then(Value::as_u64)
+        .ok_or("hello carries no seed")?;
+    let dataset = by_name(dataset_key, seed)
+        .ok_or_else(|| format!("server announced unknown dataset `{dataset_key}`"))?;
+    let dataset = Arc::new(dataset);
+    let roster: VecDeque<Logical> = dataset
+        .spawn_workers(seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, sim)| Logical {
+            external: format!("W{}", i + 1),
+            sim,
+            rng: config.faults.as_ref().map(|f| {
+                StdRng::seed_from_u64(f.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            }),
+        })
+        .collect();
+    let roster_size = roster.len();
+
+    let shared = Arc::new(Shared {
+        live: AtomicUsize::new(roster.len()),
+        queue: Mutex::new(roster),
+        requests: AtomicU64::new(1), // the HELLO
+        dups_sent: AtomicU64::new(0),
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+    });
+
+    let start = Instant::now();
+    let threads: Vec<_> = (0..config.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let dataset = Arc::clone(&dataset);
+            let config = config.clone();
+            std::thread::spawn(move || drive(&shared, &dataset, &config))
+        })
+        .collect();
+    for t in threads {
+        t.join().map_err(|_| "client thread panicked".to_owned())?;
+    }
+    let elapsed = start.elapsed();
+    if let Some(e) = shared.error.lock().expect("error lock").take() {
+        return Err(e);
+    }
+
+    // Final probe: accounting, labels, optional shutdown.
+    let mut conn = Conn::open(config.addr.as_str())?;
+    let status = conn.call(&Request::Status)?;
+    expect_ok(&status, "status")?;
+    let labels = if config.fetch_labels {
+        let results = conn.call(&Request::Results)?;
+        expect_ok(&results, "results")?;
+        Some(
+            results
+                .get("labels")
+                .and_then(Value::as_str)
+                .ok_or("results carry no labels")?
+                .to_owned(),
+        )
+    } else {
+        None
+    };
+    if config.shutdown {
+        let bye = conn.call(&Request::Shutdown)?;
+        expect_ok(&bye, "shutdown")?;
+    }
+
+    let accepted = status_u64(&status, "accepted");
+    let snap = icrowd_obs::snapshot();
+    let span_us = |name: &str| {
+        snap.spans
+            .iter()
+            .find(|s| s.name == name)
+            .map_or((0.0, 0.0), |s| {
+                (s.p50_ns as f64 / 1e3, s.p99_ns as f64 / 1e3)
+            })
+    };
+    let (request_p50_us, request_p99_us) = span_us("loadgen.request");
+    let (submit_p50_us, submit_p99_us) = span_us("loadgen.submit");
+
+    Ok(LoadgenReport {
+        roster: roster_size,
+        threads: config.workers,
+        requests: shared.requests.load(Ordering::Relaxed),
+        dups_sent: shared.dups_sent.load(Ordering::Relaxed),
+        accepted,
+        rejected: status_u64(&status, "rejected"),
+        complete: status
+            .get("complete")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+        balanced: status
+            .get("balanced")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+        elapsed,
+        throughput: accepted as f64 / elapsed.as_secs_f64().max(1e-9),
+        request_p50_us,
+        request_p99_us,
+        submit_p50_us,
+        submit_p99_us,
+        labels,
+    })
+}
+
+fn status_u64(status: &Value, field: &str) -> u64 {
+    status
+        .get("accounting")
+        .and_then(|a| a.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn expect_ok(v: &Value, what: &str) -> Result<(), String> {
+    if v.get("ok").and_then(Value::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        Err(format!("{what} failed: {v:?}"))
+    }
+}
+
+/// One client thread: pop a worker, run one cycle, repeat until the
+/// roster is exhausted (or the run aborts).
+fn drive(shared: &Shared, dataset: &Dataset, config: &LoadgenConfig) {
+    let mut error_streak = 0u32;
+    while shared.live.load(Ordering::SeqCst) > 0 && !shared.abort.load(Ordering::SeqCst) {
+        let Some(mut worker) = shared.queue.lock().expect("queue lock").pop_front() else {
+            // All live workers are checked out by other threads.
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        };
+        match cycle(shared, dataset, config, &mut worker) {
+            Cycle::Continue { answered } => {
+                error_streak = 0;
+                shared.queue.lock().expect("queue lock").push_back(worker);
+                if answered && config.think_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(config.think_ms));
+                } else if !answered {
+                    // Out of turn: yield briefly before polling again.
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            }
+            Cycle::Done => {
+                error_streak = 0;
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+            }
+            Cycle::Backoff => {
+                shared.queue.lock().expect("queue lock").push_back(worker);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Cycle::Error(e) => {
+                error_streak += 1;
+                if error_streak >= 5 {
+                    // A wedged worker would stall the whole deterministic
+                    // schedule — fail loudly instead of hanging.
+                    *shared.error.lock().expect("error lock") =
+                        Some(format!("worker {}: {e}", worker.external));
+                    shared.abort.store(true, Ordering::SeqCst);
+                    return;
+                }
+                shared.queue.lock().expect("queue lock").push_back(worker);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// One poll cycle on one connection: request, and on assignment answer
+/// + submit (plus client-fault variations).
+fn cycle(
+    shared: &Shared,
+    dataset: &Dataset,
+    config: &LoadgenConfig,
+    worker: &mut Logical,
+) -> Cycle {
+    let mut conn = match Conn::open(config.addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => return Cycle::Error(e),
+    };
+    let req = Request::RequestTask {
+        worker: worker.external.clone(),
+    };
+    let resp = {
+        let _span = icrowd_obs::span!("loadgen.request");
+        conn.call(&req)
+    };
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let resp = match resp {
+        Ok(v) => v,
+        Err(e) => return Cycle::Error(e),
+    };
+    if resp.get("type").and_then(Value::as_str) == Some("busy") {
+        return Cycle::Backoff;
+    }
+    match resp.get("type").and_then(Value::as_str) {
+        Some("task") => {}
+        Some("wait") => return Cycle::Continue { answered: false },
+        Some("declined") => {
+            return if resp.get("retry").and_then(Value::as_bool) == Some(true) {
+                Cycle::Continue { answered: false }
+            } else {
+                Cycle::Done
+            }
+        }
+        Some("left") => return Cycle::Done,
+        _ => return Cycle::Error(format!("unexpected poll response {resp:?}")),
+    }
+    let Some(task) = resp.get("task").and_then(Value::as_u64) else {
+        return Cycle::Error("task response without task id".to_owned());
+    };
+    let task = icrowd_core::task::TaskId(task as u32);
+
+    // One answer draw per assignment — the same call the in-process
+    // harness makes, in the same schedule order.
+    let answer = worker.sim.answer(&dataset.tasks[task]);
+
+    let mut dup = false;
+    if let (Some(faults), Some(rng)) = (config.faults.as_ref(), worker.rng.as_mut()) {
+        dup = faults.dup > 0.0 && rng.gen_bool(faults.dup);
+        let late = faults.late > 0.0 && rng.gen_bool(faults.late);
+        if late {
+            std::thread::sleep(Duration::from_millis(faults.late_ms));
+        }
+    }
+
+    let submit = Request::SubmitAnswer {
+        worker: worker.external.clone(),
+        task,
+        answer,
+    };
+    let resp = {
+        let _span = icrowd_obs::span!("loadgen.submit");
+        conn.call(&submit)
+    };
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let resp = match resp {
+        Ok(v) => v,
+        Err(e) => return Cycle::Error(e),
+    };
+    if dup {
+        // The copy is a stray; a compliant server rejects it as a
+        // duplicate, and the accounting's conservation law still holds.
+        shared.dups_sent.fetch_add(1, Ordering::Relaxed);
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let _ = conn.call(&submit);
+    }
+    match resp.get("result").and_then(Value::as_str) {
+        Some("stalled") => Cycle::Done,
+        Some("accepted" | "rejected" | "dropped" | "deferred") => {
+            Cycle::Continue { answered: true }
+        }
+        _ => Cycle::Error(format!("unexpected submit response {resp:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_spec_parses_the_documented_grammar() {
+        let f = ClientFaultConfig::parse("dup=0.25,late=0.1:35,seed=9").unwrap();
+        assert_eq!(f.dup, 0.25);
+        assert_eq!(f.late, 0.1);
+        assert_eq!(f.late_ms, 35);
+        assert_eq!(f.seed, 9);
+        let f = ClientFaultConfig::parse("late=0.5").unwrap();
+        assert_eq!(f.late_ms, 10, "default delay");
+    }
+
+    // Regression: spec parsers return errors instead of panicking on
+    // malformed input (three malformed specs).
+    #[test]
+    fn malformed_dup_rate_is_an_error_not_a_panic() {
+        let err = ClientFaultConfig::parse("dup=banana").unwrap_err();
+        assert!(err.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn malformed_late_delay_is_an_error_not_a_panic() {
+        let err = ClientFaultConfig::parse("late=0.5:xx").unwrap_err();
+        assert!(err.contains("xx"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fault_key_is_an_error_not_a_panic() {
+        let err = ClientFaultConfig::parse("wobble=0.1").unwrap_err();
+        assert!(err.contains("wobble"), "{err}");
+        let err = ClientFaultConfig::parse("dup=1.5").unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+}

@@ -1,0 +1,366 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every message is one JSON object on one line. Requests carry an
+//! `"op"` field; responses carry `"ok"` plus a `"type"` discriminator:
+//!
+//! ```text
+//! -> {"op":"HELLO"}
+//! <- {"ok":true,"type":"hello","dataset":"table1","seed":42,
+//!     "workers":5,"tasks":12,"approach":"iCrowd"}
+//! -> {"op":"REQUEST_TASK","worker":"W1"}
+//! <- {"ok":true,"type":"task","task":7}          (or "wait" /
+//!     "declined" {"retry":bool} / "left")
+//! -> {"op":"SUBMIT_ANSWER","worker":"W1","task":7,"answer":1}
+//! <- {"ok":true,"type":"submit","result":"accepted"}
+//!     (result: accepted | rejected (+"reason") | dropped | stalled |
+//!      deferred)
+//! -> {"op":"STATUS"}
+//! <- {"ok":true,"type":"status","complete":false,...}
+//! -> {"op":"RESULTS"}
+//! <- {"ok":true,"type":"results","labels":"0 1\n1 0\n..."}
+//! -> {"op":"SHUTDOWN"}
+//! <- {"ok":true,"type":"bye"}
+//! ```
+//!
+//! Failures are `{"ok":false,"error":...}`; an overloaded server
+//! answers `{"ok":false,"type":"busy",...}` at accept time and closes.
+
+use icrowd_core::answer::Answer;
+use icrowd_core::task::TaskId;
+use icrowd_platform::{MarketAccounting, SubmitOutcome};
+use serde_json::{json, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Campaign announcement: dataset, seed, roster size.
+    Hello,
+    /// One worker's poll of the schedule.
+    RequestTask {
+        /// External worker id (`"W3"`).
+        worker: String,
+    },
+    /// An answer for an assigned task.
+    SubmitAnswer {
+        /// External worker id.
+        worker: String,
+        /// The task being answered.
+        task: TaskId,
+        /// The answer choice.
+        answer: Answer,
+    },
+    /// Campaign progress + accounting probe.
+    Status,
+    /// Current consensus labels in canonical line format.
+    Results,
+    /// Graceful drain: stop accepting, flush in-flight, finalize.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    /// Malformed JSON, unknown ops, or missing/mistyped fields.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v: Value =
+            serde_json::from_str(line.trim()).map_err(|_| "malformed JSON".to_owned())?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing \"op\"".to_owned())?;
+        match op {
+            "HELLO" => Ok(Request::Hello),
+            "REQUEST_TASK" => Ok(Request::RequestTask {
+                worker: str_field(&v, "worker")?,
+            }),
+            "SUBMIT_ANSWER" => Ok(Request::SubmitAnswer {
+                worker: str_field(&v, "worker")?,
+                task: TaskId(u64_field(&v, "task")? as u32),
+                answer: Answer(u64_field(&v, "answer")? as u8),
+            }),
+            "STATUS" => Ok(Request::Status),
+            "RESULTS" => Ok(Request::Results),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Encodes the request as its wire JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Hello => json!({"op": "HELLO"}),
+            Request::RequestTask { worker } => {
+                json!({"op": "REQUEST_TASK", "worker": worker})
+            }
+            Request::SubmitAnswer {
+                worker,
+                task,
+                answer,
+            } => json!({
+                "op": "SUBMIT_ANSWER",
+                "worker": worker,
+                "task": task.0,
+                "answer": answer.0,
+            }),
+            Request::Status => json!({"op": "STATUS"}),
+            Request::Results => json!({"op": "RESULTS"}),
+            Request::Shutdown => json!({"op": "SHUTDOWN"}),
+        }
+    }
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field \"{key}\""))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing numeric field \"{key}\""))
+}
+
+/// A server response, encoded to one wire line via [`Response::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Campaign announcement.
+    Hello {
+        /// Dataset key as accepted by `icrowd_sim::datasets::by_name`.
+        dataset: String,
+        /// Campaign seed (clients regenerate the dataset + workers).
+        seed: u64,
+        /// Roster size; external ids are `"W1"..="W{workers}"`.
+        workers: usize,
+        /// Number of published microtasks.
+        tasks: usize,
+        /// Approach display name.
+        approach: String,
+    },
+    /// The worker was assigned (or re-issued) this task.
+    Task(TaskId),
+    /// Another worker's turn is ahead; poll again.
+    Wait,
+    /// The server had no task for the worker.
+    Declined {
+        /// Whether a retry turn is queued.
+        retry: bool,
+    },
+    /// The worker left the marketplace; stop polling.
+    Left,
+    /// How a submission settled.
+    Submit {
+        /// `accepted`, `rejected`, `dropped`, `stalled` or `deferred`.
+        result: &'static str,
+        /// Rejection reason (`rejected` only).
+        reason: Option<&'static str>,
+    },
+    /// Campaign progress + accounting.
+    Status {
+        /// Every task reached consensus.
+        complete: bool,
+        /// The driver ran its final sweep.
+        finished: bool,
+        /// Answers accepted so far.
+        answers: usize,
+        /// Marketplace accounting so far.
+        accounting: MarketAccounting,
+        /// The continuous conservation law
+        /// `accepted + rejected == submitted`.
+        balanced: bool,
+        /// Connections waiting in the handler queue.
+        queue_depth: usize,
+        /// Distinct workers the serving layer has seen.
+        workers_seen: usize,
+    },
+    /// Consensus labels in canonical `<task> <answer>` line format.
+    Results {
+        /// The label lines.
+        labels: String,
+    },
+    /// Shutdown acknowledged.
+    Bye,
+    /// Handler queue full; retry later.
+    Busy,
+    /// Request-level failure.
+    Error {
+        /// User-facing message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Maps a submission verdict to the wire encoding.
+    pub fn from_outcome(outcome: SubmitOutcome) -> Response {
+        match outcome {
+            SubmitOutcome::Accepted => Response::Submit {
+                result: "accepted",
+                reason: None,
+            },
+            SubmitOutcome::Rejected(reason) => Response::Submit {
+                result: "rejected",
+                reason: Some(reason.name()),
+            },
+        }
+    }
+
+    /// Encodes the response as its wire JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Hello {
+                dataset,
+                seed,
+                workers,
+                tasks,
+                approach,
+            } => json!({
+                "ok": true, "type": "hello",
+                "dataset": dataset, "seed": seed,
+                "workers": workers, "tasks": tasks,
+                "approach": approach,
+            }),
+            Response::Task(task) => json!({"ok": true, "type": "task", "task": task.0}),
+            Response::Wait => json!({"ok": true, "type": "wait"}),
+            Response::Declined { retry } => {
+                json!({"ok": true, "type": "declined", "retry": retry})
+            }
+            Response::Left => json!({"ok": true, "type": "left"}),
+            Response::Submit { result, reason } => {
+                let mut v = json!({"ok": true, "type": "submit", "result": *result});
+                if let (Some(reason), Value::Object(o)) = (reason, &mut v) {
+                    o.push(("reason".into(), json!(*reason)));
+                }
+                v
+            }
+            Response::Status {
+                complete,
+                finished,
+                answers,
+                accounting: a,
+                balanced,
+                queue_depth,
+                workers_seen,
+            } => {
+                let accounting = json!({
+                    "submitted": a.answers_submitted,
+                    "accepted": a.answers_accepted,
+                    "rejected": a.answers_rejected,
+                    "dropped": a.answers_dropped,
+                    "paid": a.answers_paid,
+                    "abandoned": a.answers_abandoned,
+                    "stalled": a.stalled,
+                    "churned": a.churned,
+                });
+                json!({
+                    "ok": true, "type": "status",
+                    "complete": complete, "finished": finished,
+                    "answers": answers,
+                    "accounting": accounting,
+                    "balanced": balanced,
+                    "queue_depth": queue_depth,
+                    "workers_seen": workers_seen,
+                })
+            }
+            Response::Results { labels } => {
+                json!({"ok": true, "type": "results", "labels": labels})
+            }
+            Response::Bye => json!({"ok": true, "type": "bye"}),
+            Response::Busy => {
+                json!({"ok": false, "type": "busy", "error": "server at capacity; retry"})
+            }
+            Response::Error { message } => {
+                json!({"ok": false, "type": "error", "error": message})
+            }
+        }
+    }
+
+    /// Serializes into `buf` (reused across requests) with the trailing
+    /// newline the framing requires.
+    pub fn encode_line(&self, buf: &mut String) {
+        serde_json::write_to_string(&self.to_value(), buf);
+        buf.push('\n');
+    }
+}
+
+/// Shorthand used by tests and the rejection path: encode straight to a
+/// fresh line.
+pub fn response_line(resp: &Response) -> String {
+    let mut buf = String::new();
+    resp.encode_line(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icrowd_platform::RejectReason;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        let reqs = [
+            Request::Hello,
+            Request::RequestTask {
+                worker: "W3".into(),
+            },
+            Request::SubmitAnswer {
+                worker: "W1".into(),
+                task: TaskId(17),
+                answer: Answer(1),
+            },
+            Request::Status,
+            Request::Results,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req.to_value()).unwrap();
+            assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").unwrap_err().contains("op"));
+        assert!(Request::parse("{\"op\":\"EXPLODE\"}")
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::parse("{\"op\":\"REQUEST_TASK\"}")
+            .unwrap_err()
+            .contains("worker"));
+        assert!(
+            Request::parse("{\"op\":\"SUBMIT_ANSWER\",\"worker\":\"W1\",\"task\":\"x\"}").is_err()
+        );
+    }
+
+    #[test]
+    fn responses_carry_their_discriminators() {
+        let line = response_line(&Response::Task(TaskId(5)));
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["type"].as_str(), Some("task"));
+        assert_eq!(v["task"].as_u64(), Some(5));
+
+        let line = response_line(&Response::Submit {
+            result: "rejected",
+            reason: Some(RejectReason::Duplicate.name()),
+        });
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["result"].as_str(), Some("rejected"));
+        assert_eq!(v["reason"].as_str(), Some("duplicate"));
+
+        let v: Value = serde_json::from_str(&response_line(&Response::Busy)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["type"].as_str(), Some("busy"));
+    }
+
+    #[test]
+    fn encode_line_reuses_the_buffer() {
+        let mut buf = String::new();
+        Response::Wait.encode_line(&mut buf);
+        let first = buf.clone();
+        Response::Wait.encode_line(&mut buf);
+        assert_eq!(buf, first, "encode clears before writing");
+        assert!(buf.ends_with('\n'));
+    }
+}

@@ -1,0 +1,224 @@
+//! The TCP transport: one acceptor, a fixed handler pool, a bounded
+//! hand-off queue.
+//!
+//! The acceptor thread accepts connections and `try_send`s them into a
+//! bounded crossbeam channel; when the queue is full it writes a `BUSY`
+//! line and closes (accept-then-reject backpressure — the client gets
+//! an explicit signal instead of an opaque connection reset). A fixed
+//! pool of handler threads serves queued connections to EOF, one line
+//! per request.
+//!
+//! Shutdown (the `SHUTDOWN` op, or [`ServerHandle::shutdown`]) flips a
+//! flag: the acceptor stops accepting and drops its sender, handlers
+//! drain whatever is already queued (the channel hands out buffered
+//! connections after disconnect), in-flight connections are flushed,
+//! and [`ServerHandle::join`] finalizes the campaign into its scored
+//! result.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use icrowd_sim::campaign::CampaignResult;
+
+use crate::engine::CampaignEngine;
+use crate::protocol::{Request, Response};
+
+/// Transport parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port (the bound
+    /// address is available via [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Handler pool size.
+    pub handlers: usize,
+    /// Bounded connection queue capacity; overflow is rejected `BUSY`.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            handlers: 4,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// A running server; join it to collect the campaign result.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    handlers: Vec<JoinHandle<()>>,
+    engine: Arc<CampaignEngine>,
+}
+
+impl ServerHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful drain (idempotent; the `SHUTDOWN` op does the
+    /// same through the wire).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server drains (a `SHUTDOWN` op arrives or
+    /// [`Self::shutdown`] is called), then finalizes and scores the
+    /// campaign.
+    pub fn join(self) -> CampaignResult {
+        self.acceptor.join().expect("acceptor panicked");
+        for h in self.handlers {
+            h.join().expect("handler panicked");
+        }
+        let engine = Arc::try_unwrap(self.engine)
+            .ok()
+            .expect("handlers hold no engine refs after join");
+        engine.finalize()
+    }
+}
+
+/// Starts serving `engine` per `config`. Returns once the listener is
+/// bound; the campaign runs on the handler threads until shutdown.
+///
+/// # Errors
+/// Propagates socket errors from binding the listener.
+pub fn serve(engine: CampaignEngine, config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let engine = Arc::new(engine);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = bounded::<TcpStream>(config.queue_cap.max(1));
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        thread::spawn(move || acceptor_loop(&listener, &tx, &shutdown))
+    };
+    let handlers = (0..config.handlers.max(1))
+        .map(|_| {
+            let rx = rx.clone();
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || handler_loop(&rx, &engine, &shutdown))
+        })
+        .collect();
+    drop(rx);
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        acceptor,
+        handlers,
+        engine,
+    })
+}
+
+fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &AtomicBool) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return; // dropping tx lets handlers drain the queue and exit
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _span = icrowd_obs::span!("serve.accept");
+                icrowd_obs::counter_add("serve.accept", 1);
+                match tx.try_send(stream) {
+                    Ok(()) => {
+                        icrowd_obs::gauge_set("serve.queue_depth", tx.len() as f64);
+                    }
+                    Err(TrySendError::Full(mut stream)) => {
+                        icrowd_obs::counter_add("serve.busy", 1);
+                        let line = crate::protocol::response_line(&Response::Busy);
+                        let _ = stream.write_all(line.as_bytes());
+                        // closed on drop — accept-then-reject backpressure
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handler_loop(rx: &Receiver<TcpStream>, engine: &CampaignEngine, shutdown: &AtomicBool) {
+    // recv keeps returning buffered connections after the acceptor
+    // disconnects — that is the drain: everything accepted is served.
+    while let Ok(stream) = rx.recv() {
+        icrowd_obs::gauge_set("serve.queue_depth", rx.len() as f64);
+        serve_connection(stream, engine, rx, shutdown);
+    }
+}
+
+/// Serves one connection to EOF (or shutdown). Errors drop the
+/// connection; the protocol is stateless per line, so clients just
+/// reconnect.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &CampaignEngine,
+    rx: &Receiver<TcpStream>,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets the handler notice shutdown while
+    // parked on an idle connection.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut out = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return; // drain: drop idle connections
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match Request::parse(&line) {
+            Ok(Request::Shutdown) => {
+                let resp = engine.handle(&Request::Shutdown, rx.len());
+                resp.encode_line(&mut out);
+                let _ = writer.write_all(out.as_bytes());
+                let _ = writer.flush();
+                shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(req) => engine.handle(&req, rx.len()),
+            Err(message) => Response::Error { message },
+        };
+        resp.encode_line(&mut out);
+        if writer
+            .write_all(out.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}

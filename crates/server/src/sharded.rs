@@ -1,0 +1,130 @@
+//! A striped-lock map for state mutated concurrently by handler
+//! threads.
+//!
+//! The campaign schedule itself is serialized behind one lock (the
+//! determinism contract demands it), but per-worker serving statistics
+//! have no cross-worker ordering constraints — so they live here,
+//! sharded by key hash, and handler threads touching different workers
+//! never contend.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+const NUM_SHARDS: usize = 16;
+
+/// A `HashMap<String, T>` striped over [`NUM_SHARDS`] mutexes.
+pub struct Sharded<T> {
+    shards: Vec<Mutex<HashMap<String, T>>>,
+}
+
+impl<T> Default for Sharded<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Sharded<T> {
+    /// An empty sharded map.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// FNV-1a, folded onto a shard index.
+    fn shard_for(&self, key: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h as usize) % self.shards.len()
+    }
+
+    /// Runs `f` on the entry for `key`, inserting a default first if
+    /// absent. Only the key's shard is locked.
+    pub fn update<R>(&self, key: &str, f: impl FnOnce(&mut T) -> R) -> R
+    where
+        T: Default,
+    {
+        let mut shard = self.shards[self.shard_for(key)]
+            .lock()
+            .expect("shard poisoned");
+        f(shard.entry(key.to_owned()).or_default())
+    }
+
+    /// Reads the entry for `key` through `f`.
+    pub fn get<R>(&self, key: &str, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let shard = self.shards[self.shard_for(key)]
+            .lock()
+            .expect("shard poisoned");
+        shard.get(key).map(f)
+    }
+
+    /// Number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds every `(key, value)` pair into an accumulator (shards are
+    /// visited in order; iteration order within a shard is unspecified).
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &str, &T) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for (k, v) in shard.iter() {
+                acc = f(acc, k, v);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn updates_and_reads_route_to_the_same_shard() {
+        let m: Sharded<u64> = Sharded::new();
+        m.update("W1", |v| *v += 3);
+        m.update("W1", |v| *v += 4);
+        m.update("W2", |v| *v += 1);
+        assert_eq!(m.get("W1", |v| *v), Some(7));
+        assert_eq!(m.get("W2", |v| *v), Some(1));
+        assert_eq!(m.get("W3", |v| *v), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_from_many_threads_lose_nothing() {
+        let m: Arc<Sharded<u64>> = Arc::new(Sharded::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.update(&format!("W{}", (t + i) % 23 + 1), |v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total = m.fold(0u64, |acc, _, v| acc + v);
+        assert_eq!(total, 8 * 1000);
+        assert_eq!(m.len(), 23);
+    }
+}

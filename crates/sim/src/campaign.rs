@@ -9,6 +9,7 @@
 //! tasks only, since the gold answers were requester-labelled.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use icrowd::{AssignStrategy, ICrowd, ICrowdBuilder};
@@ -233,6 +234,10 @@ pub struct CampaignResult {
     pub fault_stats: FaultStats,
     /// Whether every task reached its consensus before the crowd ran out.
     pub completed: bool,
+    /// Final consensus labels in task-id order (gold tasks resolve to
+    /// their requester labels). This is the artifact compared
+    /// byte-for-byte between the in-process and served campaign paths.
+    pub labels: Vec<(TaskId, Answer)>,
 }
 
 impl CampaignResult {
@@ -316,64 +321,117 @@ pub fn run_campaign_with(
     gold: Vec<TaskId>,
 ) -> CampaignResult {
     let start = Instant::now();
-    let workers = dataset.spawn_workers(config.seed);
-    let total_answers =
-        dataset.tasks.len() * config.icrowd.assignment_size + dataset.workers.len() * gold.len();
-    let scripts = worker_scripts(config, workers.len(), total_answers);
-    let behaviors: Vec<(WorkerScript, Box<dyn WorkerBehavior>)> = workers
+    let setup = prepare_campaign_with(dataset, approach, config, graph, gold);
+    let CampaignSetup {
+        mut server,
+        scripts,
+        market: market_config,
+        gold,
+    } = setup;
+    let behaviors: Vec<(WorkerScript, Box<dyn WorkerBehavior>)> = dataset
+        .spawn_workers(config.seed)
         .into_iter()
         .zip(scripts)
         .map(|(w, script)| (script, Box::new(w) as Box<dyn WorkerBehavior>))
         .collect();
-    let market_config = MarketConfig {
+    let market = Marketplace::new(dataset.tasks.clone(), market_config);
+
+    let outcome = market.run_with_faults(&mut server, behaviors, config.faults.clone());
+    score_campaign(
+        dataset,
+        approach,
+        config,
+        &mut server,
+        gold,
+        &outcome,
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// The marketplace-side ingredients of a campaign: the answer server,
+/// the worker scripts, the market configuration and the shared gold
+/// set. Both the in-process harness ([`run_campaign_with`]) and the TCP
+/// serving layer build exactly this, so a served campaign runs the same
+/// deterministic schedule as an in-process one at the same seed.
+pub struct CampaignSetup {
+    /// The ExternalQuestion server for the chosen approach.
+    pub server: CampaignServer,
+    /// Per-worker marketplace scripts in roster order.
+    pub scripts: Vec<WorkerScript>,
+    /// Marketplace parameters (HIT count scaled to expected demand).
+    pub market: MarketConfig,
+    /// The shared qualification/gold set.
+    pub gold: Vec<TaskId>,
+}
+
+/// Builds a [`CampaignSetup`], running the offline work (graph + gold
+/// selection) first.
+pub fn prepare_campaign(
+    dataset: &Dataset,
+    approach: Approach,
+    config: &CampaignConfig,
+) -> CampaignSetup {
+    let graph = build_graph(dataset, config);
+    let gold = select_gold(dataset, &graph, config);
+    prepare_campaign_with(dataset, approach, config, graph, gold)
+}
+
+/// Builds a [`CampaignSetup`] from a pre-built graph and gold set.
+pub fn prepare_campaign_with(
+    dataset: &Dataset,
+    approach: Approach,
+    config: &CampaignConfig,
+    graph: SimilarityGraph,
+    gold: Vec<TaskId>,
+) -> CampaignSetup {
+    let total_answers =
+        dataset.tasks.len() * config.icrowd.assignment_size + dataset.workers.len() * gold.len();
+    let scripts = worker_scripts(config, dataset.workers.len(), total_answers);
+    let market = MarketConfig {
         num_hits: total_answers / 100 + dataset.workers.len() + 1,
         ..Default::default()
     };
-    let market = Marketplace::new(dataset.tasks.clone(), market_config);
+    let server = CampaignServer::new(dataset, approach, config, graph, gold.clone());
+    CampaignSetup {
+        server,
+        scripts,
+        market,
+        gold,
+    }
+}
 
-    let mut server = match approach {
-        Approach::ICrowd(strategy) => CampaignServer::ICrowd(Box::new(
-            ICrowdBuilder::new(dataset.tasks.clone())
-                .config(config.icrowd.clone())
-                .strategy(strategy)
-                .estimation_mode(config.estimation_mode)
-                .graph(graph)
-                .qualification(gold.clone())
-                .build(),
-        )),
-        Approach::RandomMV => CampaignServer::Random(Box::new(RandomServer::new(
-            dataset.tasks.clone(),
-            config,
-            gold.clone(),
-            BaselineMode::MajorityVote,
-        ))),
-        Approach::RandomEM => CampaignServer::Random(Box::new(RandomServer::new(
-            dataset.tasks.clone(),
-            config,
-            gold.clone(),
-            BaselineMode::DawidSkene,
-        ))),
-        Approach::AvgAccPV => CampaignServer::Random(Box::new(RandomServer::new(
-            dataset.tasks.clone(),
-            config,
-            gold.clone(),
-            BaselineMode::ProbabilisticVerification,
-        ))),
-    };
-
-    let outcome = market.run_with_faults(&mut server, behaviors, config.faults.clone());
+/// Scores a finished marketplace run into a [`CampaignResult`] (shared
+/// by the in-process harness and the serving layer's drain path).
+pub fn score_campaign(
+    dataset: &Dataset,
+    approach: Approach,
+    config: &CampaignConfig,
+    server: &mut CampaignServer,
+    gold: Vec<TaskId>,
+    outcome: &icrowd_platform::market::MarketOutcome,
+    elapsed_ms: f64,
+) -> CampaignResult {
     let completed = server.is_complete();
     let results = server.results(config.weighted_aggregation);
     let excluded: HashSet<TaskId> = gold.iter().copied().collect();
     let (overall, per_domain) = evaluate(dataset, &results, &excluded);
+    let mut labels: Vec<(TaskId, Answer)> = results.iter().map(|(&t, &a)| (t, a)).collect();
+    labels.sort_unstable_by_key(|(t, _)| *t);
 
-    // Map platform external ids ("W<i>") back to profile names.
+    // Map platform external ids ("W<i>") back to profile names; ids
+    // outside that format (e.g. from a misbehaving network client) are
+    // reported verbatim instead of panicking.
     let worker_assignments = server
         .worker_assignments()
         .into_iter()
         .map(|(external, count)| {
-            let idx: usize = external[1..].parse::<usize>().expect("W<i> format") - 1;
-            (dataset.workers[idx].name.clone(), count)
+            let name = external
+                .strip_prefix('W')
+                .and_then(|s| s.parse::<usize>().ok())
+                .and_then(|i| i.checked_sub(1))
+                .and_then(|i| dataset.workers.get(i))
+                .map_or(external.clone(), |w| w.name.clone());
+            (name, count)
         })
         .collect();
 
@@ -385,12 +443,24 @@ pub fn run_campaign_with(
         answers: outcome.answers,
         spend_cents: outcome.ledger.total_spend(),
         worker_assignments,
-        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+        elapsed_ms,
         gold,
         accounting: outcome.accounting,
         fault_stats: outcome.faults,
         completed,
+        labels,
     }
+}
+
+/// Renders consensus labels in the canonical `<task> <answer>` line
+/// format used for byte-for-byte comparison between the in-process and
+/// served campaign paths (and by `--labels-out`).
+pub fn labels_lines(labels: &[(TaskId, Answer)]) -> String {
+    let mut out = String::with_capacity(labels.len() * 8);
+    for (t, a) in labels {
+        writeln!(out, "{} {}", t.0, a.0).expect("write to String");
+    }
+    out
 }
 
 /// Draws per-worker marketplace scripts for the configured dynamics.
@@ -455,14 +525,61 @@ fn worker_scripts(
     }
 }
 
-/// Dispatch wrapper over the two server families.
-enum CampaignServer {
+/// Dispatch wrapper over the two server families (iCrowd's adaptive
+/// assigner and the random-assignment baselines) — the
+/// [`ExternalQuestionServer`] a campaign runs against, whichever host
+/// (in-process marketplace or TCP serving layer) drives it.
+pub enum CampaignServer {
+    /// iCrowd with one of its assignment strategies.
     ICrowd(Box<ICrowd>),
+    /// A random-assignment baseline (RandomMV / RandomEM / AvgAccPV).
     Random(Box<RandomServer>),
 }
 
 impl CampaignServer {
-    fn results(&mut self, weighted: bool) -> HashMap<TaskId, Answer> {
+    /// Builds the server for `approach` over the dataset's tasks, with
+    /// the shared graph and gold set.
+    pub fn new(
+        dataset: &Dataset,
+        approach: Approach,
+        config: &CampaignConfig,
+        graph: SimilarityGraph,
+        gold: Vec<TaskId>,
+    ) -> Self {
+        match approach {
+            Approach::ICrowd(strategy) => CampaignServer::ICrowd(Box::new(
+                ICrowdBuilder::new(dataset.tasks.clone())
+                    .config(config.icrowd.clone())
+                    .strategy(strategy)
+                    .estimation_mode(config.estimation_mode)
+                    .graph(graph)
+                    .qualification(gold.clone())
+                    .build(),
+            )),
+            Approach::RandomMV => CampaignServer::Random(Box::new(RandomServer::new(
+                dataset.tasks.clone(),
+                config,
+                gold,
+                BaselineMode::MajorityVote,
+            ))),
+            Approach::RandomEM => CampaignServer::Random(Box::new(RandomServer::new(
+                dataset.tasks.clone(),
+                config,
+                gold,
+                BaselineMode::DawidSkene,
+            ))),
+            Approach::AvgAccPV => CampaignServer::Random(Box::new(RandomServer::new(
+                dataset.tasks.clone(),
+                config,
+                gold,
+                BaselineMode::ProbabilisticVerification,
+            ))),
+        }
+    }
+
+    /// Aggregated answers per task (gold tasks resolve to their
+    /// requester labels).
+    pub fn results(&mut self, weighted: bool) -> HashMap<TaskId, Answer> {
         match self {
             CampaignServer::ICrowd(s) if weighted => s.results_weighted(),
             CampaignServer::ICrowd(s) => s.results(),
@@ -470,7 +587,8 @@ impl CampaignServer {
         }
     }
 
-    fn worker_assignments(&self) -> Vec<(String, u32)> {
+    /// Regular assignments per worker, by external id.
+    pub fn worker_assignments(&self) -> Vec<(String, u32)> {
         match self {
             CampaignServer::ICrowd(s) => s.worker_assignments(),
             CampaignServer::Random(s) => s.worker_assignments(),
@@ -522,7 +640,7 @@ enum BaselineMode {
 /// crowd work and from measurement). AvgAccPV additionally warms every
 /// worker up on the gold set to estimate her average accuracy and
 /// eliminates workers below the threshold, per CDAS.
-struct RandomServer {
+pub struct RandomServer {
     tasks: TaskSet,
     k: usize,
     num_choices: u8,

@@ -28,6 +28,20 @@ pub use scale::{scalability_edges, scalability_tasks};
 pub use table1::table1;
 pub use yahooqa::yahooqa;
 
+/// Looks a generated dataset up by its CLI name. The same `(name,
+/// seed)` pair always regenerates the identical dataset, which is what
+/// lets a load-generator client rebuild the worker models a remote
+/// campaign server announced in its `HELLO` response.
+pub fn by_name(name: &str, seed: u64) -> Option<Dataset> {
+    match name {
+        "yahooqa" => Some(yahooqa(seed)),
+        "item_compare" | "itemcompare" => Some(item_compare(seed)),
+        "table1" => Some(table1()),
+        "quiz" => Some(quiz(seed)),
+        _ => None,
+    }
+}
+
 /// A dataset: tasks with domains + a worker population.
 #[derive(Debug, Clone)]
 pub struct Dataset {

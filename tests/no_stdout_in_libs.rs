@@ -27,6 +27,7 @@ const LIB_SRC_DIRS: &[&str] = &[
     "crates/icrowd/src",
     "crates/obs/src",
     "crates/cli/src",
+    "crates/server/src",
 ];
 
 const FORBIDDEN: &[&str] = &["println!", "print!", "eprintln!", "eprint!", "dbg!"];

@@ -1,0 +1,263 @@
+//! End-to-end tests of the TCP serving layer: a campaign driven over
+//! real sockets by the concurrent load generator must complete, keep
+//! the marketplace accounting's conservation laws, and produce
+//! consensus labels byte-identical to the in-process path at the same
+//! seed.
+
+use std::sync::{Arc, Barrier};
+
+use icrowd::AssignStrategy;
+use icrowd_serve::protocol::Request;
+use icrowd_serve::{client, run_loadgen, serve, CampaignEngine, Conn, LoadgenConfig, ServeConfig};
+use icrowd_sim::campaign::{labels_lines, run_campaign, Approach, CampaignConfig, MetricChoice};
+use icrowd_sim::datasets::table1;
+use serde_json::Value;
+
+/// A fast campaign configuration (table1, Jaccard, 3 gold tasks).
+fn quick_config() -> CampaignConfig {
+    let mut config = CampaignConfig {
+        metric: MetricChoice::Jaccard,
+        ..Default::default()
+    };
+    config.icrowd.similarity_threshold = 0.3;
+    config.icrowd.warmup.num_qualification = 3;
+    config
+}
+
+fn start(approach: Approach, handlers: usize, queue_cap: usize) -> icrowd_serve::ServerHandle {
+    let engine = CampaignEngine::new("table1", table1(), approach, quick_config());
+    serve(
+        engine,
+        &ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            handlers,
+            queue_cap,
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// The tentpole acceptance path: ≥8 concurrent loadgen workers drive a
+/// served campaign to completion, the accounting balances, and the
+/// final consensus is byte-identical to the in-process run.
+#[test]
+fn loadgen_campaign_matches_in_process_labels_byte_for_byte() {
+    let approach = Approach::ICrowd(AssignStrategy::Adapt);
+    let expected = run_campaign(&table1(), approach, &quick_config());
+
+    let handle = start(approach, 4, 32);
+    let report = run_loadgen(&LoadgenConfig {
+        addr: handle.addr().to_string(),
+        workers: 8,
+        think_ms: 0,
+        faults: None,
+        shutdown: true,
+        fetch_labels: true,
+    })
+    .expect("loadgen completes");
+    let served = handle.join();
+
+    assert!(report.complete, "campaign did not complete: {report:?}");
+    assert!(report.balanced, "conservation law violated: {report:?}");
+    assert_eq!(
+        report.labels.as_deref(),
+        Some(labels_lines(&expected.labels).as_str()),
+        "served consensus diverged from the in-process path"
+    );
+    assert_eq!(labels_lines(&served.labels), labels_lines(&expected.labels));
+    assert_eq!(served.answers, expected.answers);
+    assert_eq!(served.spend_cents, expected.spend_cents);
+    assert!(served.accounting.balanced());
+    assert!(served.completed);
+    assert!(report.requests > 0 && report.accepted > 0);
+}
+
+/// Two threads racing the same submission: exactly one acceptance, one
+/// duplicate rejection, and the accounting never double-counts (which
+/// would show up as `balanced == false` — the double-payment detector).
+#[test]
+fn duplicate_submission_race_settles_exactly_once() {
+    let handle = start(Approach::RandomMV, 4, 32);
+    let addr = handle.addr().to_string();
+
+    // Find the worker whose turn is first and get her assignment.
+    let mut assigned = None;
+    'outer: for _ in 0..100 {
+        for i in 1..=5u32 {
+            let worker = format!("W{i}");
+            let v = client::call_once(
+                addr.as_str(),
+                &Request::RequestTask {
+                    worker: worker.clone(),
+                },
+            )
+            .expect("poll");
+            if v.get("type").and_then(Value::as_str) == Some("task") {
+                assigned = Some((worker, v.get("task").and_then(Value::as_u64).unwrap()));
+                break 'outer;
+            }
+        }
+    }
+    let (worker, task) = assigned.expect("some worker gets assigned");
+
+    let barrier = Arc::new(Barrier::new(2));
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let worker = worker.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut conn = Conn::open(addr.as_str()).expect("connect");
+                barrier.wait();
+                conn.call(&Request::SubmitAnswer {
+                    worker,
+                    task: icrowd_core::task::TaskId(task as u32),
+                    answer: icrowd_core::answer::Answer(0),
+                })
+                .expect("submit")
+            })
+        })
+        .collect();
+    let verdicts: Vec<Value> = racers.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let results: Vec<&str> = verdicts
+        .iter()
+        .map(|v| v.get("result").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        results.iter().filter(|r| **r == "accepted").count(),
+        1,
+        "exactly one acceptance: {verdicts:?}"
+    );
+    assert_eq!(
+        results.iter().filter(|r| **r == "rejected").count(),
+        1,
+        "exactly one rejection: {verdicts:?}"
+    );
+    let rejected = verdicts
+        .iter()
+        .find(|v| v.get("result").and_then(Value::as_str) == Some("rejected"))
+        .unwrap();
+    assert_eq!(
+        rejected.get("reason").and_then(Value::as_str),
+        Some("duplicate"),
+        "{rejected:?}"
+    );
+
+    // The conservation law holds: both submissions counted, one each way.
+    let status = client::call_once(addr.as_str(), &Request::Status).expect("status");
+    assert_eq!(status["balanced"].as_bool(), Some(true), "{status:?}");
+    let a = &status["accounting"];
+    assert_eq!(a["submitted"].as_u64(), Some(2));
+    assert_eq!(a["accepted"].as_u64(), Some(1));
+    assert_eq!(a["rejected"].as_u64(), Some(1));
+
+    handle.shutdown();
+    let result = handle.join();
+    assert!(result.accounting.balanced(), "no double payment at drain");
+}
+
+/// Backpressure: with one handler pinned by an idle connection and the
+/// queue full, the acceptor rejects with an explicit `BUSY` line
+/// instead of hanging or resetting.
+#[test]
+fn overloaded_server_rejects_with_busy() {
+    let handle = start(Approach::RandomMV, 1, 1);
+    let addr = handle.addr().to_string();
+
+    // Pin the only handler: a round-trip guarantees it owns conn1.
+    let mut conn1 = Conn::open(addr.as_str()).expect("conn1");
+    conn1.call(&Request::Hello).expect("hello");
+    // Fill the queue with an idle connection the handler can't reach.
+    let _conn2 = Conn::open(addr.as_str()).expect("conn2");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // Overflow: the acceptor must answer BUSY and close.
+    let mut conn3 = Conn::open(addr.as_str()).expect("conn3");
+    let v = conn3.call(&Request::Hello).expect("busy line");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{v:?}");
+    assert_eq!(v.get("type").and_then(Value::as_str), Some("busy"), "{v:?}");
+
+    // The pinned handler still serves its connection.
+    let v = conn1.call(&Request::Status).expect("status on pinned conn");
+    assert_eq!(v.get("type").and_then(Value::as_str), Some("status"));
+
+    handle.shutdown();
+    let _ = handle.join();
+}
+
+/// Malformed protocol lines get an error response; the connection (and
+/// the campaign) survive.
+#[test]
+fn malformed_requests_get_error_responses_not_resets() {
+    let handle = start(Approach::RandomMV, 2, 8);
+    let addr = handle.addr().to_string();
+
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for bad in [
+        "this is not json",
+        "{\"op\":\"EXPLODE\"}",
+        "{\"no\":\"op\"}",
+    ] {
+        writer.write_all(bad.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v: Value = serde_json::from_str(&line).expect("error response parses");
+        assert_eq!(v["ok"].as_bool(), Some(false), "{line}");
+    }
+    // Same connection still serves valid requests afterwards.
+    writer.write_all(b"{\"op\":\"HELLO\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(&line).unwrap();
+    assert_eq!(v["type"].as_str(), Some("hello"));
+    assert_eq!(v["dataset"].as_str(), Some("table1"));
+
+    handle.shutdown();
+    let _ = handle.join();
+}
+
+/// Client-side fault injection: duplicate submissions are rejected as
+/// strays, the campaign still completes, and consensus is unchanged —
+/// duplicates must never alter labels or double-pay.
+#[test]
+fn loadgen_duplicates_do_not_perturb_consensus() {
+    let approach = Approach::RandomMV;
+    let expected = run_campaign(&table1(), approach, &quick_config());
+
+    let handle = start(approach, 4, 32);
+    let report = run_loadgen(&LoadgenConfig {
+        addr: handle.addr().to_string(),
+        workers: 8,
+        think_ms: 0,
+        faults: Some(icrowd_serve::ClientFaultConfig {
+            dup: 0.5,
+            late: 0.0,
+            late_ms: 0,
+            seed: 11,
+        }),
+        shutdown: true,
+        fetch_labels: true,
+    })
+    .expect("loadgen completes");
+    let served = handle.join();
+
+    assert!(report.complete);
+    assert!(report.balanced);
+    assert!(report.dups_sent > 0, "fault plan injected no duplicates");
+    assert!(
+        served.accounting.answers_rejected >= report.dups_sent,
+        "every duplicate copy must be rejected: {:?} vs {} dups",
+        served.accounting,
+        report.dups_sent
+    );
+    assert_eq!(
+        labels_lines(&served.labels),
+        labels_lines(&expected.labels),
+        "duplicates changed the consensus"
+    );
+    assert!(served.accounting.balanced());
+}

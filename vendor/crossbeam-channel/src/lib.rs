@@ -1,14 +1,294 @@
-//! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//! Offline stand-in for `crossbeam-channel`.
 //!
-//! Only the multi-producer/single-consumer unbounded channel surface the
-//! workspace uses is provided; `send`/`recv`/`try_recv` signatures match
-//! crossbeam's.
+//! A multi-producer/multi-consumer channel over `Mutex<VecDeque>` +
+//! `Condvar`, covering the surface the workspace uses: [`unbounded`] and
+//! [`bounded`] constructors, blocking `send`/`recv`, non-blocking
+//! `try_send`/`try_recv`, cloneable [`Sender`]s *and* [`Receiver`]s, and
+//! crossbeam's disconnect semantics (a receiver drains buffered messages
+//! before reporting disconnection; a sender fails once every receiver is
+//! gone).
 
-pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
 
-/// Creates an unbounded channel.
+/// The sending half gave up: every [`Receiver`] was dropped. Carries the
+/// unsent message back, like crossbeam's.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Why a [`Sender::try_send`] could not enqueue.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// A bounded channel is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver was dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "Full(..)",
+            TrySendError::Disconnected(_) => "Disconnected(..)",
+        })
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "sending on a full channel",
+            TrySendError::Disconnected(_) => "sending on a disconnected channel",
+        })
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+/// The receiving half gave up: the channel is empty and every
+/// [`Sender`] was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Why a [`Receiver::try_recv`] returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is buffered right now.
+    Empty,
+    /// No message is buffered and every sender was dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TryRecvError::Empty => "receiving on an empty channel",
+            TryRecvError::Disconnected => "receiving on an empty and disconnected channel",
+        })
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+/// Creates an unbounded channel: `send` never blocks.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    std::sync::mpsc::channel()
+    channel(None)
+}
+
+/// Creates a bounded channel holding at most `cap` messages: `send`
+/// blocks when full, `try_send` returns [`TrySendError::Full`].
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
+}
+
+/// The sending half. Cloneable; the channel disconnects for receivers
+/// once every clone is dropped.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    /// Returns the value when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match inner.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = self.0.not_full.wait(inner).unwrap();
+                }
+                _ => {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Enqueues `value` without blocking.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.0.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = inner.cap {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether no message is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().senders += 1;
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.senders -= 1;
+            inner.senders == 0
+        };
+        if last {
+            // Wake receivers parked on an empty queue so they observe
+            // the disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half. Cloneable — any number of worker threads can
+/// compete for messages (each message is delivered exactly once).
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    /// Buffered messages are drained even after every sender is gone.
+    ///
+    /// # Errors
+    /// [`RecvError`] once the channel is empty and disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.0.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Dequeues the next message without blocking.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] when nothing is buffered,
+    /// [`TryRecvError::Disconnected`] when additionally every sender is
+    /// gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.0.inner.lock().unwrap();
+        if let Some(v) = inner.queue.pop_front() {
+            drop(inner);
+            self.0.not_full.notify_one();
+            return Ok(v);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether no message is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().receivers += 1;
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.receivers -= 1;
+            inner.receivers == 0
+        };
+        if last {
+            // Wake senders parked on a full queue so they observe the
+            // disconnect.
+            self.0.not_full.notify_all();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -27,5 +307,77 @@ mod tests {
             assert_eq!(got, vec![1, 2]);
         });
         assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| tx.send(2).unwrap()); // blocks until the recv below
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn cloned_receivers_compete_for_messages() {
+        let (tx, rx) = bounded::<u32>(64);
+        let n = 50u32;
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let rx2 = rx.clone();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while let Ok(v) = rx.recv() {
+                    a.push(v)
+                }
+            });
+            s.spawn(|| {
+                while let Ok(v) = rx2.recv() {
+                    b.push(v)
+                }
+            });
+        });
+        let mut all: Vec<u32> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "exactly-once delivery");
+    }
+
+    #[test]
+    fn receivers_drain_the_buffer_after_disconnect() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv().unwrap(), 8);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn senders_fail_once_receivers_are_gone() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
     }
 }

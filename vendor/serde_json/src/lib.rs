@@ -55,6 +55,47 @@ pub fn from_value<T: Deserialize>(v: Value) -> Result<T> {
     T::from_value(&v)
 }
 
+/// Serializes `value` into `buf` as compact JSON, reusing the buffer's
+/// capacity: the buffer is cleared, not reallocated, so a caller that
+/// keeps one scratch `String` per connection serializes every response
+/// without a fresh allocation.
+pub fn write_to_string<T: Serialize + ?Sized>(value: &T, buf: &mut String) {
+    buf.clear();
+    value.to_json(buf);
+}
+
+/// Serializes `value` as compact JSON directly to an [`std::io::Write`].
+///
+/// The text is staged through a thread-local scratch buffer (cleared,
+/// never shrunk), so steady-state serialization performs no allocation.
+///
+/// # Errors
+/// Propagates writer errors as [`Error`].
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+    }
+    SCRATCH.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        write_to_string(value, &mut buf);
+        writer
+            .write_all(buf.as_bytes())
+            .map_err(|e| Error::custom(format!("io error: {e}")))
+    })
+}
+
+/// Deserializes a `T` from a reader drained to EOF.
+///
+/// # Errors
+/// Returns [`Error`] on read failure, malformed JSON or shape mismatch.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::custom(format!("io error: {e}")))?;
+    from_str(&text)
+}
+
 /// Builds a [`Value`] from a JSON-like literal.
 ///
 /// Supports `null`, array literals, object literals with string-literal
@@ -410,5 +451,45 @@ mod tests {
     fn unicode_escapes() {
         let v: String = from_str(r#""A😀""#).unwrap();
         assert_eq!(v, "A😀");
+    }
+
+    #[test]
+    fn write_to_string_reuses_capacity() {
+        let mut buf = String::with_capacity(256);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        for i in 0..50u32 {
+            let v = json!({"op": "STATUS", "n": i});
+            write_to_string(&v, &mut buf);
+            assert!(buf.starts_with("{\"op\":\"STATUS\""), "{buf}");
+        }
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation across reuses");
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn to_writer_from_reader_roundtrip() {
+        let v = json!({"task": 7u32, "answer": 1u8, "worker": "W3"});
+        let mut bytes = Vec::new();
+        to_writer(&mut bytes, &v).unwrap();
+        let back: Value = from_reader(bytes.as_slice()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["task"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn to_writer_propagates_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _b: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(to_writer(Broken, &json!([1u8])).is_err());
+        let bad: Result<Value> = from_reader(b"{\"a\": ".as_slice());
+        assert!(bad.is_err());
     }
 }

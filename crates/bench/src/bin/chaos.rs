@@ -14,6 +14,16 @@
 //! `--smoke` runs only the reference cell (20% drop + 5% stall) plus
 //! the determinism check — the CI `chaos-smoke` job's entry point.
 //! Telemetry is armed by `ICROWD_TELEMETRY` like every other bin.
+//!
+//! `--crash` runs the kill-and-recover harness instead: it spawns a
+//! real `icrowd serve --journal` process, SIGKILLs it at randomized
+//! points mid-campaign (occasionally also tearing the journal tail),
+//! restarts it with `--recover`, and asserts the finished campaign's
+//! labels are byte-identical to an in-process baseline with zero
+//! `serve.invariant_violation` in the telemetry export — the CI
+//! `crash-smoke` job's entry point. It also measures journaling
+//! overhead (fsync-every-record vs no journal) into
+//! `BENCH_journal.json`.
 
 use icrowd::core::{ICrowdConfig, Tick, WarmupConfig};
 use icrowd::platform::market::{WorkerBehavior, WorkerScript};
@@ -135,8 +145,377 @@ fn assert_invariants(cell: &Cell, drop: f64, stall: f64) {
     );
 }
 
+mod crash {
+    //! The kill-and-recover harness behind `chaos --crash`.
+
+    use std::io::{BufRead, BufReader, Write};
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    use icrowd::core::ICrowdConfig;
+    use icrowd_serve::{run_loadgen, serve, CampaignEngine, LoadgenConfig, ServeConfig};
+    use icrowd_sim::campaign::{
+        labels_lines, run_campaign, Approach, CampaignConfig, MetricChoice,
+    };
+    use icrowd_sim::datasets::table1;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Crash rounds before the campaign is allowed to finish.
+    const KILLS: usize = 3;
+
+    /// The campaign the child serves — must mirror the CLI flags in
+    /// [`serve_args`] exactly, or the recovery header check (rightly)
+    /// refuses the journal.
+    fn served_config() -> CampaignConfig {
+        let mut icrowd = ICrowdConfig {
+            assignment_size: 3,
+            similarity_threshold: 0.3,
+            ..Default::default()
+        };
+        icrowd.warmup.num_qualification = 3;
+        CampaignConfig {
+            seed: 42,
+            icrowd,
+            metric: MetricChoice::Jaccard,
+            ..Default::default()
+        }
+    }
+
+    fn serve_args() -> Vec<&'static str> {
+        vec![
+            "serve",
+            "--dataset",
+            "table1",
+            "--approach",
+            "random-mv",
+            "--seed",
+            "42",
+            "--k",
+            "3",
+            "--threshold",
+            "0.3",
+            "--metric",
+            "jaccard",
+            "--q",
+            "3",
+            "--addr",
+            "127.0.0.1:0",
+            "--fsync",
+            "1",
+            "--snapshot-every",
+            "8",
+        ]
+    }
+
+    /// The `icrowd` CLI binary, expected next to this harness binary.
+    fn icrowd_bin() -> PathBuf {
+        let me = std::env::current_exe().expect("current exe path");
+        let dir = me.parent().expect("exe has a parent directory");
+        let bin = dir.join("icrowd");
+        assert!(
+            bin.exists(),
+            "icrowd binary not found at {} — build it first (cargo build -p icrowd-cli)",
+            bin.display()
+        );
+        bin
+    }
+
+    /// SIGKILL-on-drop guard so a panicking harness never leaks a
+    /// serving child process.
+    struct Reaper(Option<Child>);
+
+    impl Reaper {
+        fn kill_now(&mut self) {
+            if let Some(mut child) = self.0.take() {
+                let _ = child.kill(); // SIGKILL on unix — no cleanup runs
+                let _ = child.wait();
+            }
+        }
+    }
+
+    impl Drop for Reaper {
+        fn drop(&mut self) {
+            self.kill_now();
+        }
+    }
+
+    /// Publishes the server address atomically (write + rename) so
+    /// `--addr-file` readers never see a partial line.
+    fn publish_addr(addr_file: &Path, addr: &str) {
+        let staged = addr_file.with_extension("tmp");
+        std::fs::write(&staged, addr).expect("write addr file");
+        std::fs::rename(&staged, addr_file).expect("publish addr file");
+    }
+
+    /// Spawns a serving child and blocks until its listen banner (and,
+    /// on recovery rounds, its recovery summary) arrives. Remaining
+    /// stdout is drained by a background thread to keep the pipe moving.
+    fn spawn_server(
+        bin: &Path,
+        journal: &Path,
+        recover: bool,
+        extra: &[(&str, &Path)],
+    ) -> (Reaper, String) {
+        let mut cmd = Command::new(bin);
+        cmd.args(serve_args());
+        cmd.arg(if recover { "--recover" } else { "--journal" })
+            .arg(journal);
+        for (flag, path) in extra {
+            cmd.arg(flag).arg(path);
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+        let mut child = cmd.spawn().expect("spawn icrowd serve");
+        let stdout = child.stdout.take().expect("child stdout piped");
+        let mut reader = BufReader::new(stdout);
+        let mut addr = None;
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            if let Some(rest) = line.trim().strip_prefix("icrowd-serve listening on ") {
+                addr = Some(rest.to_owned());
+                break;
+            }
+            if line.trim().starts_with("recovered ") {
+                println!("  child: {}", line.trim());
+            }
+            line.clear();
+        }
+        let addr = addr.expect("server exited before announcing its address");
+        std::thread::spawn(move || {
+            for l in reader.lines().map_while(Result::ok) {
+                println!("  child: {l}");
+            }
+        });
+        (Reaper(Some(child)), addr)
+    }
+
+    /// Measures loadgen wall-clock with and without a fsync-every-record
+    /// journal, appending a JSON line to `BENCH_journal.json`.
+    fn measure_overhead(baseline: &str, journal: &Path) -> std::io::Result<()> {
+        let mut timings = [0f64; 2];
+        for (i, journaled) in [false, true].into_iter().enumerate() {
+            let engine =
+                CampaignEngine::new("table1", table1(), Approach::RandomMV, served_config());
+            if journaled {
+                engine.start_journal(journal, 1, 8).expect("journal starts");
+            }
+            let handle = serve(engine, &ServeConfig::default()).expect("bind");
+            let start = Instant::now();
+            let report = run_loadgen(&LoadgenConfig {
+                addr: handle.addr().to_string(),
+                workers: 4,
+                ..Default::default()
+            })
+            .expect("loadgen completes");
+            timings[i] = start.elapsed().as_secs_f64() * 1e3;
+            let result = handle.join();
+            assert!(report.complete && report.balanced, "{report:?}");
+            assert_eq!(
+                labels_lines(&result.labels),
+                baseline,
+                "labels diverged (journaled: {journaled})"
+            );
+        }
+        std::fs::remove_file(journal).ok();
+        let overhead_pct = (timings[1] / timings[0].max(1e-9) - 1.0) * 100.0;
+        println!(
+            "journal overhead (fsync every record): plain {:.1}ms, journaled {:.1}ms ({overhead_pct:+.1}%)",
+            timings[0], timings[1]
+        );
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("BENCH_journal.json")?;
+        writeln!(
+            f,
+            "{{\"dataset\":\"table1\",\"fsync_every\":1,\"snapshot_every\":8,\"plain_ms\":{:.3},\"journal_ms\":{:.3},\"overhead_pct\":{:.2}}}",
+            timings[0], timings[1], overhead_pct
+        )
+    }
+
+    /// The harness: baseline → overhead → kill/recover rounds → final
+    /// round to completion → label + telemetry verification.
+    pub fn run() {
+        let expected = run_campaign(&table1(), Approach::RandomMV, &served_config());
+        let baseline = labels_lines(&expected.labels);
+        println!("=== Crash harness: table1 / random-mv, seed 42 ===");
+        println!(
+            "baseline: {} labels, {} answers",
+            expected.labels.len(),
+            expected.answers
+        );
+
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let journal = dir.join(format!("icrowd_chaos_{pid}.journal"));
+        let addr_file = dir.join(format!("icrowd_chaos_{pid}.addr"));
+        let labels_out = dir.join(format!("icrowd_chaos_{pid}.labels"));
+        let telemetry_out = dir.join(format!("icrowd_chaos_{pid}.telemetry"));
+        for p in [&journal, &addr_file, &labels_out, &telemetry_out] {
+            std::fs::remove_file(p).ok();
+        }
+
+        measure_overhead(&baseline, &journal).expect("write BENCH_journal.json");
+        std::fs::remove_file(&journal).ok();
+
+        let bin = icrowd_bin();
+        let mut rng = StdRng::seed_from_u64(super::SEED);
+
+        // One loadgen spans every server incarnation: it follows the
+        // addr-file across restarts and re-submits idempotently.
+        let (tx, rx) = mpsc::channel();
+        let loadgen = {
+            let config = LoadgenConfig {
+                addr: String::new(),
+                addr_file: Some(addr_file.to_string_lossy().into_owned()),
+                workers: 4,
+                // Pace the campaign so the kill schedule lands mid-flight
+                // instead of racing a sub-second run.
+                think_ms: 30,
+                give_up_ms: 60_000,
+                ..Default::default()
+            };
+            std::thread::spawn(move || {
+                let _ = tx.send(run_loadgen(&config));
+            })
+        };
+
+        let extra: Vec<(&str, &Path)> = vec![
+            ("--labels-out", labels_out.as_path()),
+            ("--telemetry", telemetry_out.as_path()),
+        ];
+        let mut kills = 0usize;
+        let mut torn = 0usize;
+        let report = loop {
+            let recovering = kills > 0;
+            let (mut reaper, addr) = spawn_server(&bin, &journal, recovering, &extra);
+            publish_addr(&addr_file, &addr);
+
+            if kills < KILLS {
+                // Wait for the journal to accumulate real state, then
+                // kill at a randomized instant.
+                let floor = 300 + kills as u64 * 200;
+                let grow_deadline = Instant::now() + Duration::from_secs(15);
+                while std::fs::metadata(&journal).map_or(0, |m| m.len()) < floor
+                    && Instant::now() < grow_deadline
+                {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                std::thread::sleep(Duration::from_millis(rng.gen_range(10..120)));
+                if let Ok(result) = rx.try_recv() {
+                    // The campaign outran the kill schedule; let the
+                    // child drain the SHUTDOWN it already received.
+                    let child = reaper.0.take().expect("child running");
+                    wait_with_deadline(child, Duration::from_secs(30));
+                    break result;
+                }
+                reaper.kill_now();
+                kills += 1;
+                println!(
+                    "kill #{kills}: SIGKILL at journal size {}",
+                    std::fs::metadata(&journal).map_or(0, |m| m.len())
+                );
+                // Also tear the tail, as a crash mid-write would —
+                // cycling truncate / garbage / clean so every run
+                // exercises all three recovery paths.
+                match kills % 3 {
+                    0 => {
+                        let len = std::fs::metadata(&journal).map_or(0, |m| m.len());
+                        let cut = rng.gen_range(1u64..=64).min(len.saturating_sub(200));
+                        if cut > 0 {
+                            let f = std::fs::OpenOptions::new()
+                                .write(true)
+                                .open(&journal)
+                                .expect("open journal");
+                            f.set_len(len - cut).expect("truncate journal");
+                            torn += 1;
+                            println!("  torn: truncated {cut} bytes");
+                        }
+                    }
+                    1 => {
+                        let mut f = std::fs::OpenOptions::new()
+                            .append(true)
+                            .open(&journal)
+                            .expect("open journal");
+                        let garbage: Vec<u8> =
+                            (0..rng.gen_range(1..40)).map(|_| rng.gen()).collect();
+                        f.write_all(&garbage).expect("append garbage");
+                        torn += 1;
+                        println!("  torn: appended {} garbage bytes", garbage.len());
+                    }
+                    _ => {}
+                }
+            } else {
+                // Final round: run to completion (the loadgen sends
+                // SHUTDOWN, the child drains and writes labels-out).
+                let result = rx
+                    .recv_timeout(Duration::from_secs(120))
+                    .expect("loadgen did not finish after the final recovery");
+                let child = reaper.0.take().expect("child running");
+                let out = wait_with_deadline(child, Duration::from_secs(30));
+                assert!(out, "served child did not exit after SHUTDOWN");
+                break result;
+            }
+        };
+        loadgen.join().expect("loadgen thread");
+
+        let report = report.expect("loadgen failed");
+        assert!(report.complete, "campaign incomplete: {report:?}");
+        assert!(report.balanced, "conservation law violated: {report:?}");
+        let final_labels = std::fs::read_to_string(&labels_out).expect("child wrote --labels-out");
+        assert_eq!(
+            report.labels.as_deref(),
+            Some(baseline.as_str()),
+            "loadgen-fetched labels diverged from baseline"
+        );
+        assert_eq!(final_labels, baseline, "label file diverged from baseline");
+        println!(
+            "labels match baseline ({} labels, {kills} kills, {torn} torn tails)",
+            expected.labels.len()
+        );
+
+        let telemetry = std::fs::read_to_string(&telemetry_out).unwrap_or_default();
+        let violations = telemetry
+            .lines()
+            .filter(|l| l.contains("serve.invariant_violation"))
+            .count();
+        assert_eq!(
+            violations, 0,
+            "telemetry recorded serve.invariant_violation"
+        );
+        println!("invariant violations: {violations}");
+        println!("retries ridden through by clients: {}", report.retries);
+
+        for p in [&journal, &addr_file, &labels_out, &telemetry_out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Waits for the child to exit, killing it if the deadline passes.
+    fn wait_with_deadline(mut child: Child, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        while Instant::now() < until {
+            match child.try_wait() {
+                Ok(Some(_)) => return true,
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(_) => return false,
+            }
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        false
+    }
+}
+
 fn main() {
     let telemetry = icrowd_bench::telemetry::init_from_env();
+    if std::env::args().any(|a| a == "--crash") {
+        crash::run();
+        icrowd_bench::telemetry::finish(telemetry);
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (drops, stalls): (Vec<f64>, Vec<f64>) = if smoke {
         (vec![0.2], vec![0.05])

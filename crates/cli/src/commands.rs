@@ -60,8 +60,10 @@ USAGE:
     icrowd quals    --dataset <name> [--q N] [--strategy inf|random]
     icrowd serve    --dataset <name> [--approach <a>] [--addr H:P] [--handlers N]
                     [--queue N] [--seed N] [--faults <spec>] [--labels-out <path>]
-                    [--telemetry <path>]
-    icrowd loadgen  --addr H:P [--workers N] [--think-ms T] [--faults dup=R,late=R:MS,seed=N]
+                    [--journal <path> | --recover <path>] [--fsync N]
+                    [--snapshot-every N] [--idle-timeout-ms T] [--telemetry <path>]
+    icrowd loadgen  (--addr H:P | --addr-file <path>) [--workers N] [--think-ms T]
+                    [--give-up-ms T] [--faults dup=R,late=R:MS,seed=N]
                     [--labels-out <path>] [--no-shutdown] [--telemetry <path>]
 
 DATASETS:    yahooqa, item_compare, table1, quiz
@@ -86,6 +88,18 @@ SERVING:     `icrowd serve` hosts one campaign behind a line-delimited JSON
              throughput + p50/p99 latency. At the same seed, the served
              campaign's consensus labels are byte-identical to the
              in-process `icrowd campaign` run (compare via --labels-out).
+
+DURABILITY:  --journal <path> appends every accepted state transition to a
+             crash-consistent write-ahead journal (CRC32-framed records;
+             --fsync N batches fsyncs, 1 = every record, 0 = never;
+             --snapshot-every N interleaves verification snapshots and
+             compacts the file). After a crash, --recover <path> replays
+             the journal through a fresh campaign, verifies snapshots and
+             the accounting conservation laws, truncates any torn tail,
+             and resumes serving — consensus stays byte-identical to an
+             uninterrupted run. `icrowd loadgen --addr-file` re-reads the
+             server address before every connection, so clients follow a
+             restarted server to its new port and re-submit idempotently.
 "
     .to_owned()
 }
@@ -290,7 +304,9 @@ fn campaign_cmd(args: &Args) -> Result<String, CliError> {
                 ));
             }
         }
-        return Ok(serde_json::to_string_pretty(&v).expect("serializable") + "\n");
+        return serde_json::to_string_pretty(&v)
+            .map(|s| s + "\n")
+            .map_err(|e| CliError(format!("cannot serialize result: {e}")));
     }
 
     let mut out = String::new();
@@ -492,11 +508,53 @@ fn serve_cmd(args: &Args, notify: &mut dyn FnMut(&str)) -> Result<String, CliErr
         addr: args.get_or("addr", "127.0.0.1:7700").to_owned(),
         handlers: args.get_parsed("handlers", 4usize)?,
         queue_cap: args.get_parsed("queue", 64usize)?,
+        idle_timeout_ms: args.get_parsed("idle-timeout-ms", 10_000u64)?,
     };
+    let fsync_every = args.get_parsed("fsync", 1usize)?;
+    let snapshot_every = args.get_parsed("snapshot-every", 64usize)?;
+    let journal = args.get("journal");
+    let recover_path = args.get("recover");
+    if let (Some(j), Some(r)) = (journal, recover_path) {
+        if j != r {
+            return Err(CliError(format!(
+                "--journal `{j}` and --recover `{r}` must name the same file \
+                 (recovery reattaches the journal it replays)"
+            )));
+        }
+    }
     let telemetry = telemetry_begin(args);
     let seed = config.seed;
 
-    let engine = CampaignEngine::new(name, ds, approach, config);
+    let engine = if let Some(path) = recover_path {
+        let (engine, report) = icrowd_serve::recover(
+            std::path::Path::new(path),
+            name,
+            ds,
+            approach,
+            config,
+            fsync_every,
+            snapshot_every,
+        )
+        .map_err(|e| CliError(format!("cannot recover from `{path}`: {e}")))?;
+        notify(&format!(
+            "recovered {} ops from {path} ({} snapshots verified, {} torn bytes truncated, \
+             {} answers, balanced {})",
+            report.ops_replayed,
+            report.snapshots_verified,
+            report.truncated_bytes,
+            report.answers,
+            report.balanced
+        ));
+        engine
+    } else {
+        let engine = CampaignEngine::new(name, ds, approach, config);
+        if let Some(path) = journal {
+            engine
+                .start_journal(std::path::Path::new(path), fsync_every, snapshot_every)
+                .map_err(|e| CliError(format!("cannot create journal `{path}`: {e}")))?;
+        }
+        engine
+    };
     let handle = icrowd_serve::serve(engine, &serve_config)
         .map_err(|e| CliError(format!("cannot bind `{}`: {e}", serve_config.addr)))?;
     // Emitted before blocking so scripts can discover an ephemeral
@@ -511,9 +569,12 @@ fn serve_cmd(args: &Args, notify: &mut dyn FnMut(&str)) -> Result<String, CliErr
 }
 
 fn loadgen_cmd(args: &Args) -> Result<String, CliError> {
-    let addr = args
-        .get("addr")
-        .ok_or_else(|| CliError("loadgen requires --addr".into()))?;
+    let addr_file = args.get("addr-file").map(str::to_owned);
+    let addr = match (args.get("addr"), &addr_file) {
+        (Some(a), _) => a.to_owned(),
+        (None, Some(_)) => String::new(), // resolved from the file per connection
+        (None, None) => return Err(CliError("loadgen requires --addr or --addr-file".into())),
+    };
     let faults = args
         .get("faults")
         .map(|spec| {
@@ -522,9 +583,11 @@ fn loadgen_cmd(args: &Args) -> Result<String, CliError> {
         })
         .transpose()?;
     let config = LoadgenConfig {
-        addr: addr.to_owned(),
+        addr,
+        addr_file,
         workers: args.get_parsed("workers", 8usize)?,
         think_ms: args.get_parsed("think-ms", 0u64)?,
+        give_up_ms: args.get_parsed("give-up-ms", 30_000u64)?,
         faults,
         shutdown: !args.has_flag("no-shutdown"),
         fetch_labels: true,
@@ -536,16 +599,21 @@ fn loadgen_cmd(args: &Args) -> Result<String, CliError> {
     }
 
     let mut out = String::new();
+    let target = if config.addr.is_empty() {
+        format!("addr-file {}", config.addr_file.as_deref().unwrap_or("?"))
+    } else {
+        config.addr.clone()
+    };
     writeln!(
         out,
-        "loadgen: {} threads over {} workers against {}",
-        report.threads, report.roster, config.addr
+        "loadgen: {} threads over {} workers against {target}",
+        report.threads, report.roster
     )
     .unwrap();
     writeln!(
         out,
-        "requests: {}   accepted: {}   rejected: {}   dups sent: {}",
-        report.requests, report.accepted, report.rejected, report.dups_sent
+        "requests: {}   accepted: {}   rejected: {}   dups sent: {}   retries: {}",
+        report.requests, report.accepted, report.rejected, report.dups_sent, report.retries
     )
     .unwrap();
     writeln!(

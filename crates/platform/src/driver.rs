@@ -148,6 +148,11 @@ pub struct MarketDriver {
     seq: u64,
     pending: Option<PendingAssignment>,
     finished: bool,
+    /// Mutation epoch: bumped whenever schedule, accounting or server
+    /// state changes. A journaling layer compares epochs around a call
+    /// to decide whether the call must be logged — idempotent re-issues
+    /// and out-of-turn waits leave the epoch untouched.
+    epoch: u64,
 }
 
 fn fault_counter(name: &str) {
@@ -206,6 +211,7 @@ impl MarketDriver {
             seq,
             pending: None,
             finished: false,
+            epoch: 0,
         }
     }
 
@@ -247,6 +253,11 @@ impl MarketDriver {
     /// The latest logical tick the schedule has reached.
     pub fn now(&self) -> Tick {
         self.end
+    }
+
+    /// The current mutation epoch (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Runs the schedule until the next assignment or the end of the
@@ -347,6 +358,7 @@ impl MarketDriver {
     ) -> SubmitReport {
         let p = self.pending.take().expect("no pending assignment");
         assert_eq!(p.worker, worker, "submission from the wrong worker");
+        self.epoch += 1;
         let (wi, task, now) = (p.worker, p.task, p.at);
         self.states[wi].answered_total += 1;
 
@@ -417,6 +429,7 @@ impl MarketDriver {
         answer: Answer,
     ) -> SubmitOutcome {
         let now = self.end;
+        self.epoch += 1;
         self.accounting.answers_submitted += 1;
         self.events.push(MarketEvent::AnswerSubmitted {
             at: now,
@@ -492,6 +505,7 @@ impl MarketDriver {
         pending: Pending,
     ) -> Option<PollOutcome> {
         let now = Tick(tick);
+        self.epoch += 1;
         self.end = self.end.max(now);
 
         // A late answer reaches the server. The session has been
@@ -734,6 +748,7 @@ impl MarketDriver {
     /// Close any sessions still open when events ran out (including
     /// stalled workers, whose sessions are still `Working`).
     fn finish(&mut self) {
+        self.epoch += 1;
         let final_tick = self.end;
         for wi in 0..self.states.len() {
             self.leave(wi, final_tick);

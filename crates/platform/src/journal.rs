@@ -1,0 +1,705 @@
+//! The crash-consistent campaign journal: a write-ahead log of every
+//! accepted driver mutation.
+//!
+//! The marketplace driver is fully deterministic given its construction
+//! inputs, so durability does not require serializing its state — it is
+//! enough to record the ordered stream of *mutating inputs* (polls that
+//! moved the schedule, every submission, deferred-delivery pumps) and
+//! replay them through a freshly built driver. Each record is framed as
+//!
+//! ```text
+//! [u32 payload_len LE][u32 crc32 LE][payload bytes]
+//! ```
+//!
+//! with the CRC taken over the payload (a compact JSON object). A torn
+//! or corrupt tail — a partial frame, a CRC mismatch, unparseable
+//! payload — terminates the read at the longest valid prefix; the
+//! recovery layer truncates the file there and resumes appending.
+//!
+//! Snapshot records are *verification checkpoints*, not state dumps:
+//! they pin the accounting, accepted-answer count, logical clock and
+//! mutation epoch at a known op index so replay can detect divergence
+//! early. Compaction rewrites the file (tmp + rename + fsync) with all
+//! ops collapsed into large batch frames and only the latest snapshot
+//! retained — ops can never be dropped, because the op log *is* the
+//! state.
+//!
+//! Fsync policy: `fsync_every = 1` syncs after every record (full
+//! durability), `N` batches syncs every `N` records, `0` never syncs
+//! (the OS flushes at its leisure). Losing an un-synced tail is safe:
+//! clients idempotently re-poll and re-submit, and the server's
+//! duplicate rejection keeps accepted answers exactly-once.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use serde_json::{json, Value};
+
+use crate::market::MarketAccounting;
+
+/// Journal format version (bumped on incompatible frame/payload changes).
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Frames larger than this are treated as corruption, not allocation
+/// requests.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+// -- CRC32 (IEEE 802.3), table generated at compile time ---------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) over `data` — the per-frame integrity check.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A stable fingerprint of an arbitrary configuration rendering, stored
+/// in the header so recovery refuses to replay a journal against a
+/// different campaign configuration (FNV-1a 64).
+pub fn fingerprint(text: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// -- record model ------------------------------------------------------
+
+/// The journal's first record: identifies the campaign the ops belong to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Frame/payload format version.
+    pub version: u32,
+    /// Dataset key (`icrowd_sim::datasets::by_name`).
+    pub dataset: String,
+    /// Approach display name.
+    pub approach: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Fingerprint of the full campaign configuration.
+    pub config_fp: u64,
+}
+
+/// What a journaled poll returned (replay verifies the tag matches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollTag {
+    /// The worker was assigned this task id.
+    Assigned(u32),
+    /// Not her turn, but the poll pumped deferred deliveries (a poll
+    /// that mutated nothing is never journaled).
+    Wait,
+    /// Declined with a retry turn queued.
+    DeclinedRetry,
+    /// Declined terminally; the worker left.
+    DeclinedLeft,
+    /// The worker left the marketplace.
+    Left,
+}
+
+impl PollTag {
+    /// Stable wire/diagnostic name for this outcome.
+    pub fn name(self) -> &'static str {
+        match self {
+            PollTag::Assigned(_) => "assigned",
+            PollTag::Wait => "wait",
+            PollTag::DeclinedRetry => "declined_retry",
+            PollTag::DeclinedLeft => "declined_left",
+            PollTag::Left => "left",
+        }
+    }
+}
+
+/// One mutating driver input, in apply order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalOp {
+    /// A poll that moved the schedule.
+    Poll {
+        /// External worker id.
+        worker: String,
+        /// The outcome the live run produced.
+        tag: PollTag,
+    },
+    /// A submission (scheduled or stray) and its verdict, e.g.
+    /// `accepted`, `rejected:duplicate`, `dropped`, `stalled`,
+    /// `deferred`.
+    Submit {
+        /// External worker id.
+        worker: String,
+        /// Task id.
+        task: u32,
+        /// Answer choice.
+        answer: u8,
+        /// The live run's verdict tag.
+        verdict: String,
+    },
+    /// A `STATUS`/`RESULTS` pump that moved the schedule (deferred
+    /// deliveries landed, or the final sweep ran).
+    Pump,
+}
+
+/// A verification checkpoint: state the replay must reproduce once
+/// `ops` records have been applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalSnapshot {
+    /// Number of ops preceding this checkpoint.
+    pub ops: u64,
+    /// Accepted answers at the checkpoint.
+    pub answers: u64,
+    /// Accounting at the checkpoint.
+    pub accounting: MarketAccounting,
+    /// Latest logical tick reached.
+    pub end_tick: u64,
+    /// Driver mutation epoch.
+    pub epoch: u64,
+}
+
+/// One framed record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// Campaign identity; always the first record.
+    Header(JournalHeader),
+    /// A single mutating input.
+    Op(JournalOp),
+    /// Many ops in one frame (compaction output).
+    Batch(Vec<JournalOp>),
+    /// A verification checkpoint.
+    Snapshot(JournalSnapshot),
+}
+
+fn op_to_value(op: &JournalOp) -> Value {
+    match op {
+        JournalOp::Poll { worker, tag } => {
+            let mut v = json!({"t": "poll", "w": worker, "o": tag.name()});
+            if let (PollTag::Assigned(task), Value::Object(o)) = (tag, &mut v) {
+                o.push(("task".into(), json!(*task)));
+            }
+            v
+        }
+        JournalOp::Submit {
+            worker,
+            task,
+            answer,
+            verdict,
+        } => json!({"t": "submit", "w": worker, "task": task, "a": answer, "v": verdict}),
+        JournalOp::Pump => json!({"t": "pump"}),
+    }
+}
+
+fn accounting_to_value(a: &MarketAccounting) -> Value {
+    json!({
+        "submitted": a.answers_submitted,
+        "accepted": a.answers_accepted,
+        "rejected": a.answers_rejected,
+        "dropped": a.answers_dropped,
+        "paid": a.answers_paid,
+        "abandoned": a.answers_abandoned,
+        "stalled": a.stalled,
+        "churned": a.churned,
+    })
+}
+
+fn record_to_value(rec: &JournalRecord) -> Value {
+    match rec {
+        JournalRecord::Header(h) => json!({
+            "t": "header",
+            "version": h.version,
+            "dataset": h.dataset,
+            "approach": h.approach,
+            "seed": h.seed,
+            "fp": h.config_fp,
+        }),
+        JournalRecord::Op(op) => op_to_value(op),
+        JournalRecord::Batch(ops) => {
+            let ops: Vec<Value> = ops.iter().map(op_to_value).collect();
+            json!({"t": "batch", "ops": ops})
+        }
+        JournalRecord::Snapshot(s) => json!({
+            "t": "snapshot",
+            "ops": s.ops,
+            "answers": s.answers,
+            "end": s.end_tick,
+            "epoch": s.epoch,
+            "acct": accounting_to_value(&s.accounting),
+        }),
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Value::as_str)
+}
+
+fn op_from_value(v: &Value) -> Option<JournalOp> {
+    match str_field(v, "t")? {
+        "poll" => {
+            let worker = str_field(v, "w")?.to_owned();
+            let tag = match str_field(v, "o")? {
+                "assigned" => PollTag::Assigned(u64_field(v, "task")? as u32),
+                "wait" => PollTag::Wait,
+                "declined_retry" => PollTag::DeclinedRetry,
+                "declined_left" => PollTag::DeclinedLeft,
+                "left" => PollTag::Left,
+                _ => return None,
+            };
+            Some(JournalOp::Poll { worker, tag })
+        }
+        "submit" => Some(JournalOp::Submit {
+            worker: str_field(v, "w")?.to_owned(),
+            task: u64_field(v, "task")? as u32,
+            answer: u64_field(v, "a")? as u8,
+            verdict: str_field(v, "v")?.to_owned(),
+        }),
+        "pump" => Some(JournalOp::Pump),
+        _ => None,
+    }
+}
+
+fn accounting_from_value(v: &Value) -> Option<MarketAccounting> {
+    Some(MarketAccounting {
+        answers_submitted: u64_field(v, "submitted")?,
+        answers_accepted: u64_field(v, "accepted")?,
+        answers_rejected: u64_field(v, "rejected")?,
+        answers_dropped: u64_field(v, "dropped")?,
+        answers_paid: u64_field(v, "paid")?,
+        answers_abandoned: u64_field(v, "abandoned")?,
+        stalled: u64_field(v, "stalled")?,
+        churned: u64_field(v, "churned")?,
+    })
+}
+
+fn record_from_value(v: &Value) -> Option<JournalRecord> {
+    match str_field(v, "t")? {
+        "header" => Some(JournalRecord::Header(JournalHeader {
+            version: u64_field(v, "version")? as u32,
+            dataset: str_field(v, "dataset")?.to_owned(),
+            approach: str_field(v, "approach")?.to_owned(),
+            seed: u64_field(v, "seed")?,
+            config_fp: u64_field(v, "fp")?,
+        })),
+        "batch" => {
+            let ops = v.get("ops")?.as_array()?;
+            let ops: Option<Vec<JournalOp>> = ops.iter().map(op_from_value).collect();
+            Some(JournalRecord::Batch(ops?))
+        }
+        "snapshot" => Some(JournalRecord::Snapshot(JournalSnapshot {
+            ops: u64_field(v, "ops")?,
+            answers: u64_field(v, "answers")?,
+            end_tick: u64_field(v, "end")?,
+            epoch: u64_field(v, "epoch")?,
+            accounting: accounting_from_value(v.get("acct")?)?,
+        })),
+        _ => op_from_value(v).map(JournalRecord::Op),
+    }
+}
+
+/// Encodes one record into its framed wire bytes.
+pub fn encode_record(rec: &JournalRecord) -> Vec<u8> {
+    let payload = serde_json::to_string(&record_to_value(rec)).unwrap_or_default();
+    let payload = payload.as_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+// -- writer ------------------------------------------------------------
+
+/// An append-only journal writer with batched fsync and compaction.
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    /// Sync after this many records (`1` = every record, `0` = never).
+    fsync_every: usize,
+    unsynced: usize,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a fresh journal at `path`.
+    ///
+    /// # Errors
+    /// Propagates file-creation failures.
+    pub fn create(path: &Path, fsync_every: usize) -> io::Result<JournalWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            fsync_every,
+            unsynced: 0,
+        })
+    }
+
+    /// Opens an existing journal for appending — the recovery path,
+    /// after the file has been truncated to its valid prefix.
+    ///
+    /// # Errors
+    /// Propagates open failures.
+    pub fn append_to(path: &Path, fsync_every: usize) -> io::Result<JournalWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            fsync_every,
+            unsynced: 0,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one framed record, syncing per the fsync policy.
+    ///
+    /// # Errors
+    /// Propagates write/sync failures; the caller decides whether to
+    /// stop journaling.
+    pub fn append(&mut self, rec: &JournalRecord) -> io::Result<()> {
+        let frame = encode_record(rec);
+        self.file.write_all(&frame)?;
+        if icrowd_obs::is_enabled() {
+            icrowd_obs::counter_add("journal.records", 1);
+            icrowd_obs::counter_add("journal.bytes", frame.len() as u64);
+        }
+        self.unsynced += 1;
+        if self.fsync_every > 0 && self.unsynced >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces pending records to stable storage.
+    ///
+    /// # Errors
+    /// Propagates `fsync` failures.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        if icrowd_obs::is_enabled() {
+            icrowd_obs::counter_add("journal.fsync", 1);
+        }
+        Ok(())
+    }
+
+    /// Compacts the journal in place: rewrites it as header + one batch
+    /// frame of every op + the latest snapshot, via tmp-file + rename +
+    /// fsync, then reopens for appending. Ops are never dropped — the
+    /// log *is* the state — so compaction only collapses framing
+    /// overhead and sheds superseded snapshots.
+    ///
+    /// # Errors
+    /// Propagates read/write/rename failures; on error the original
+    /// file is left untouched (the tmp file may linger).
+    pub fn compact(&mut self) -> io::Result<()> {
+        self.sync()?;
+        let readout = read_journal(&self.path)?;
+        let Some(header) = readout.header else {
+            return Ok(()); // nothing worth compacting
+        };
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(&encode_record(&JournalRecord::Header(header)))?;
+            if !readout.ops.is_empty() {
+                out.write_all(&encode_record(&JournalRecord::Batch(readout.ops)))?;
+            }
+            if let Some(snap) = readout.snapshots.last() {
+                out.write_all(&encode_record(&JournalRecord::Snapshot(*snap)))?;
+            }
+            out.flush()?;
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Ok(dir) = File::open(self.path.parent().unwrap_or_else(|| Path::new("."))) {
+            let _ = dir.sync_all();
+        }
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.unsynced = 0;
+        if icrowd_obs::is_enabled() {
+            icrowd_obs::counter_add("journal.compact", 1);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+// -- reader ------------------------------------------------------------
+
+/// What a prefix-tolerant read produced.
+#[derive(Debug)]
+pub struct JournalReadout {
+    /// The campaign header, when the first valid record is one.
+    pub header: Option<JournalHeader>,
+    /// Every op in apply order (batch frames flattened).
+    pub ops: Vec<JournalOp>,
+    /// Verification checkpoints, in op order.
+    pub snapshots: Vec<JournalSnapshot>,
+    /// Bytes covered by valid frames (the recovery truncation point).
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (torn tail, corruption, garbage).
+    pub truncated_bytes: u64,
+}
+
+/// Reads the longest valid record prefix of the journal at `path`. A
+/// partial frame, oversized length, CRC mismatch or unparseable payload
+/// ends the read — never panics, never errors on tail damage.
+///
+/// # Errors
+/// Only on failing to open/read the file itself.
+pub fn read_journal(path: &Path) -> io::Result<JournalReadout> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut header = None;
+    let mut ops = Vec::new();
+    let mut snapshots = Vec::new();
+    let mut off = 0usize;
+    let mut first = true;
+    while bytes.len() - off >= 8 {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap_or_default());
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap_or_default());
+        if len > MAX_FRAME {
+            break;
+        }
+        let len = len as usize;
+        let Some(payload) = bytes.get(off + 8..off + 8 + len) else {
+            break; // torn tail: frame extends past EOF
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(value) = serde_json::from_str::<Value>(&String::from_utf8_lossy(payload)) else {
+            break;
+        };
+        let Some(record) = record_from_value(&value) else {
+            break;
+        };
+        match record {
+            JournalRecord::Header(h) => {
+                if first {
+                    header = Some(h);
+                } else {
+                    break; // a header mid-stream is corruption
+                }
+            }
+            JournalRecord::Op(op) => ops.push(op),
+            JournalRecord::Batch(batch) => ops.extend(batch),
+            JournalRecord::Snapshot(s) => snapshots.push(s),
+        }
+        first = false;
+        off += 8 + len;
+    }
+    Ok(JournalReadout {
+        header,
+        ops,
+        snapshots,
+        valid_bytes: off as u64,
+        truncated_bytes: (bytes.len() - off) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("icrowd_journal_{}_{tag}.bin", std::process::id()))
+    }
+
+    fn sample_header() -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            dataset: "table1".into(),
+            approach: "RandomMV".into(),
+            seed: 42,
+            config_fp: fingerprint("config"),
+        }
+    }
+
+    fn sample_ops() -> Vec<JournalOp> {
+        vec![
+            JournalOp::Poll {
+                worker: "W1".into(),
+                tag: PollTag::Assigned(7),
+            },
+            JournalOp::Submit {
+                worker: "W1".into(),
+                task: 7,
+                answer: 1,
+                verdict: "accepted".into(),
+            },
+            JournalOp::Poll {
+                worker: "W2".into(),
+                tag: PollTag::DeclinedRetry,
+            },
+            JournalOp::Pump,
+            JournalOp::Poll {
+                worker: "W2".into(),
+                tag: PollTag::Left,
+            },
+            JournalOp::Submit {
+                worker: "W3".into(),
+                task: 2,
+                answer: 0,
+                verdict: "rejected:duplicate".into(),
+            },
+        ]
+    }
+
+    fn write_all(path: &Path, fsync_every: usize) -> JournalSnapshot {
+        let snap = JournalSnapshot {
+            ops: 6,
+            answers: 1,
+            accounting: MarketAccounting {
+                answers_submitted: 2,
+                answers_accepted: 1,
+                answers_rejected: 1,
+                ..Default::default()
+            },
+            end_tick: 12,
+            epoch: 9,
+        };
+        let mut w = JournalWriter::create(path, fsync_every).unwrap();
+        w.append(&JournalRecord::Header(sample_header())).unwrap();
+        for op in sample_ops() {
+            w.append(&JournalRecord::Op(op)).unwrap();
+        }
+        w.append(&JournalRecord::Snapshot(snap)).unwrap();
+        w.sync().unwrap();
+        snap
+    }
+
+    #[test]
+    fn records_round_trip_through_the_frame_codec() {
+        let path = tmp_path("roundtrip");
+        let snap = write_all(&path, 1);
+        let r = read_journal(&path).unwrap();
+        assert_eq!(r.header, Some(sample_header()));
+        assert_eq!(r.ops, sample_ops());
+        assert_eq!(r.snapshots, vec![snap]);
+        assert_eq!(r.truncated_bytes, 0);
+        assert_eq!(
+            r.valid_bytes,
+            std::fs::metadata(&path).unwrap().len(),
+            "every byte accounted for"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_and_unsynced_fsync_policies_write_identical_bytes() {
+        let p1 = tmp_path("fsync1");
+        let p2 = tmp_path("fsync0");
+        write_all(&p1, 1);
+        write_all(&p2, 0);
+        assert_eq!(
+            std::fs::read(&p1).unwrap(),
+            std::fs::read(&p2).unwrap(),
+            "fsync policy must not change the byte stream"
+        );
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_longest_valid_prefix() {
+        let path = tmp_path("torn");
+        write_all(&path, 1);
+        let full = std::fs::read(&path).unwrap();
+        // Cut mid-way through the final frame.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let r = read_journal(&path).unwrap();
+        assert_eq!(r.ops, sample_ops(), "ops before the tear survive");
+        assert!(r.snapshots.is_empty(), "the torn snapshot is dropped");
+        assert!(r.truncated_bytes > 0);
+        assert_eq!(r.valid_bytes + r.truncated_bytes, full.len() as u64 - 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_stops_at_the_preceding_record() {
+        let path = tmp_path("corrupt");
+        write_all(&path, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = read_journal(&path).unwrap();
+        assert!(r.ops.len() < sample_ops().len(), "flip lands mid-ops");
+        assert_eq!(r.ops, sample_ops()[..r.ops.len()], "prefix is exact");
+        assert!(r.truncated_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_the_logical_readout() {
+        let path = tmp_path("compact");
+        let snap = write_all(&path, 1);
+        let before = std::fs::metadata(&path).unwrap().len();
+        let mut w = JournalWriter::append_to(&path, 1).unwrap();
+        w.compact().unwrap();
+        let r = read_journal(&path).unwrap();
+        assert_eq!(r.header, Some(sample_header()));
+        assert_eq!(r.ops, sample_ops());
+        assert_eq!(r.snapshots, vec![snap]);
+        assert_eq!(r.truncated_bytes, 0);
+        assert!(
+            std::fs::metadata(&path).unwrap().len() < before,
+            "batch framing sheds per-record overhead"
+        );
+        // Appending after compaction keeps working.
+        w.append(&JournalRecord::Op(JournalOp::Pump)).unwrap();
+        drop(w);
+        let r = read_journal(&path).unwrap();
+        assert_eq!(r.ops.len(), sample_ops().len() + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -26,6 +26,9 @@
 //!   debugging.
 //! * [`faults`] — seedable fault injection (dropped, duplicated, and
 //!   late answers; stalls; churn spikes) for chaos-testing the loop.
+//! * [`journal`] — a crash-consistent write-ahead journal of driver
+//!   mutations (CRC32-framed records, batched fsync, snapshots with
+//!   compaction) that a serving layer replays to recover a campaign.
 //! * [`concurrent`] — a crossbeam-channel deployment of the same loop
 //!   with workers on real threads, used to demonstrate that assignment is
 //!   instant under concurrent request load.
@@ -38,6 +41,7 @@ pub mod driver;
 pub mod events;
 pub mod faults;
 pub mod hit;
+pub mod journal;
 pub mod market;
 pub mod payment;
 pub mod session;
@@ -46,6 +50,10 @@ pub use driver::{MarketDriver, PendingAssignment, PollOutcome, SubmitReport, Tur
 pub use events::{EventLog, MarketEvent, RejectReason};
 pub use faults::{ChurnSpike, FaultConfig, FaultPlan, FaultStats};
 pub use hit::{HitId, HitPool};
+pub use journal::{
+    read_journal, JournalHeader, JournalOp, JournalReadout, JournalRecord, JournalSnapshot,
+    JournalWriter, PollTag,
+};
 pub use market::{
     ExternalQuestionServer, MarketAccounting, MarketConfig, MarketOutcome, Marketplace,
     SubmitOutcome, WorkerScript,

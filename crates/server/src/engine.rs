@@ -9,17 +9,34 @@
 //! served campaign's consensus labels are byte-identical to an
 //! in-process `run_campaign` at the same seed.
 //!
+//! With a journal attached ([`CampaignEngine::start_journal`]), every
+//! call that moved the driver's mutation epoch is appended to the
+//! write-ahead journal *inside the campaign lock*, so journal order is
+//! exactly apply order. The driver is deterministic given its
+//! construction inputs, which makes the op log a complete
+//! recovery image: [`crate::recovery::recover`] replays it through a
+//! freshly prepared engine and resumes serving. Idempotent re-issues
+//! and out-of-turn waits leave the epoch (and the journal) untouched,
+//! and a journal-free engine takes none of these branches — the
+//! no-journal serve path is structurally identical to the pre-journal
+//! behavior.
+//!
 //! Per-worker serving statistics (polls, assignments, verdicts) have no
 //! ordering constraints and live outside the campaign lock in a
 //! [`Sharded`] striped-lock map.
 
-use std::sync::Mutex;
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use icrowd_core::answer::Answer;
 use icrowd_core::task::TaskId;
+use icrowd_platform::journal::{
+    fingerprint, JournalHeader, JournalOp, JournalRecord, JournalSnapshot, JournalWriter, PollTag,
+    JOURNAL_VERSION,
+};
 use icrowd_platform::market::ExternalQuestionServer;
-use icrowd_platform::{MarketDriver, PollOutcome, SubmitReport};
+use icrowd_platform::{MarketAccounting, MarketDriver, PollOutcome, SubmitReport};
 use icrowd_sim::campaign::{
     labels_lines, prepare_campaign, score_campaign, Approach, CampaignConfig, CampaignResult,
     CampaignServer,
@@ -42,9 +59,28 @@ pub struct WorkerStats {
     pub accepted: u64,
 }
 
+/// A stable fingerprint of the full campaign configuration, stored in
+/// the journal header so recovery refuses a journal written under a
+/// different configuration.
+pub fn config_fingerprint(config: &CampaignConfig) -> u64 {
+    fingerprint(&format!("{config:?}"))
+}
+
+/// Journal state riding inside the campaign lock, so append order is
+/// apply order.
+struct Journal {
+    writer: JournalWriter,
+    /// Ops appended so far (including replayed ones after recovery).
+    ops: u64,
+    /// Accepted answers between snapshots (`0` disables snapshots).
+    snapshot_every: usize,
+    accepted_since_snapshot: usize,
+}
+
 struct Core {
     driver: MarketDriver,
     backend: CampaignServer,
+    journal: Option<Journal>,
 }
 
 /// One campaign served over the wire. See the module docs.
@@ -84,6 +120,7 @@ impl CampaignEngine {
             core: Mutex::new(Core {
                 driver,
                 backend: setup.server,
+                journal: None,
             }),
             stats: Sharded::new(),
             dataset_key: dataset_key.to_owned(),
@@ -92,6 +129,105 @@ impl CampaignEngine {
             config,
             gold: setup.gold,
             start: Instant::now(),
+        }
+    }
+
+    /// Locks the campaign core, recovering from a poisoned lock: the
+    /// driver's state transitions are all-or-nothing per call, so a
+    /// panicking handler thread must not take the whole campaign (and
+    /// every other client) down with it.
+    fn core_lock(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The journal header identifying this campaign — what
+    /// [`Self::start_journal`] writes and recovery verifies.
+    pub fn expected_header(
+        dataset_key: &str,
+        approach: Approach,
+        config: &CampaignConfig,
+    ) -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            dataset: dataset_key.to_owned(),
+            approach: approach.name(),
+            seed: config.seed,
+            config_fp: config_fingerprint(config),
+        }
+    }
+
+    /// Creates a fresh journal at `path` and starts journaling every
+    /// mutation. The header is written and synced immediately, so a
+    /// crash at any later instant leaves a recoverable file.
+    ///
+    /// # Errors
+    /// Propagates journal-creation and header-write failures.
+    pub fn start_journal(
+        &self,
+        path: &Path,
+        fsync_every: usize,
+        snapshot_every: usize,
+    ) -> std::io::Result<()> {
+        let mut writer = JournalWriter::create(path, fsync_every)?;
+        writer.append(&JournalRecord::Header(Self::expected_header(
+            &self.dataset_key,
+            self.approach,
+            &self.config,
+        )))?;
+        writer.sync()?;
+        self.core_lock().journal = Some(Journal {
+            writer,
+            ops: 0,
+            snapshot_every,
+            accepted_since_snapshot: 0,
+        });
+        Ok(())
+    }
+
+    /// Reattaches a journal writer after recovery replayed `ops`
+    /// existing records; subsequent mutations append after them.
+    pub(crate) fn resume_journal(&self, writer: JournalWriter, snapshot_every: usize, ops: u64) {
+        self.core_lock().journal = Some(Journal {
+            writer,
+            ops,
+            snapshot_every,
+            accepted_since_snapshot: 0,
+        });
+    }
+
+    /// Appends one op (plus a periodic snapshot checkpoint, followed by
+    /// compaction) to the journal, inside the campaign lock. A write
+    /// failure stops journaling — the surviving file is still a valid
+    /// replayable prefix — and counts `journal.error`.
+    fn journal_append(journal: &mut Option<Journal>, driver: &MarketDriver, op: JournalOp) {
+        let Some(j) = journal.as_mut() else {
+            return;
+        };
+        let _span = icrowd_obs::span!("journal.append");
+        let accepted = matches!(&op, JournalOp::Submit { verdict, .. } if verdict == "accepted");
+        let mut failed = j.writer.append(&JournalRecord::Op(op)).is_err();
+        if !failed {
+            j.ops += 1;
+            if accepted {
+                j.accepted_since_snapshot += 1;
+            }
+            if j.snapshot_every > 0 && j.accepted_since_snapshot >= j.snapshot_every {
+                j.accepted_since_snapshot = 0;
+                let snap = JournalSnapshot {
+                    ops: j.ops,
+                    answers: driver.answers() as u64,
+                    accounting: driver.accounting(),
+                    end_tick: driver.now().0,
+                    epoch: driver.epoch(),
+                };
+                icrowd_obs::counter_add("journal.snapshot", 1);
+                failed = j.writer.append(&JournalRecord::Snapshot(snap)).is_err()
+                    || j.writer.compact().is_err();
+            }
+        }
+        if failed {
+            icrowd_obs::counter_add("journal.error", 1);
+            *journal = None;
         }
     }
 
@@ -123,9 +259,32 @@ impl CampaignEngine {
     fn request_task(&self, worker: &str) -> Response {
         let _span = icrowd_obs::span!("serve.request");
         let outcome = {
-            let mut core = self.core.lock().expect("campaign lock poisoned");
-            let Core { driver, backend } = &mut *core;
-            driver.poll(backend, worker)
+            let mut core = self.core_lock();
+            let Core {
+                driver,
+                backend,
+                journal,
+            } = &mut *core;
+            let before = driver.epoch();
+            let outcome = driver.poll(backend, worker);
+            if driver.epoch() != before {
+                let tag = match outcome {
+                    PollOutcome::Assigned(task) => PollTag::Assigned(task.0),
+                    PollOutcome::Wait => PollTag::Wait,
+                    PollOutcome::Declined { retry: true } => PollTag::DeclinedRetry,
+                    PollOutcome::Declined { retry: false } => PollTag::DeclinedLeft,
+                    PollOutcome::Left => PollTag::Left,
+                };
+                Self::journal_append(
+                    journal,
+                    driver,
+                    JournalOp::Poll {
+                        worker: worker.to_owned(),
+                        tag,
+                    },
+                );
+            }
+            outcome
         };
         self.stats.update(worker, |s| {
             s.polls += 1;
@@ -144,8 +303,13 @@ impl CampaignEngine {
     fn submit_answer(&self, worker: &str, task: TaskId, answer: Answer) -> Response {
         let _span = icrowd_obs::span!("serve.submit");
         let resp = {
-            let mut core = self.core.lock().expect("campaign lock poisoned");
-            let Core { driver, backend } = &mut *core;
+            let mut core = self.core_lock();
+            let Core {
+                driver,
+                backend,
+                journal,
+            } = &mut *core;
+            let before = driver.epoch();
             // The scheduled path is only for the assignment the driver
             // is suspended on; everything else (duplicates, unsolicited
             // submissions from misbehaving clients) goes through the
@@ -177,6 +341,22 @@ impl CampaignEngine {
             if a.answers_accepted + a.answers_rejected != a.answers_submitted {
                 icrowd_obs::counter_add("serve.invariant_violation", 1);
             }
+            if driver.epoch() != before {
+                if let Response::Submit { result, reason } = &resp {
+                    let verdict =
+                        reason.map_or_else(|| (*result).to_owned(), |r| format!("{result}:{r}"));
+                    Self::journal_append(
+                        journal,
+                        driver,
+                        JournalOp::Submit {
+                            worker: worker.to_owned(),
+                            task: task.0,
+                            answer: answer.0,
+                            verdict,
+                        },
+                    );
+                }
+            }
             resp
         };
         self.stats.update(worker, |s| {
@@ -195,12 +375,20 @@ impl CampaignEngine {
     }
 
     fn status(&self, queue_depth: usize) -> Response {
-        let mut core = self.core.lock().expect("campaign lock poisoned");
-        let Core { driver, backend } = &mut *core;
+        let mut core = self.core_lock();
+        let Core {
+            driver,
+            backend,
+            journal,
+        } = &mut *core;
         // Pump deferred (late) deliveries so progress keeps moving even
         // after every worker left, and the final sweep runs once the
         // schedule drains.
+        let before = driver.epoch();
         driver.pump(backend);
+        if driver.epoch() != before {
+            Self::journal_append(journal, driver, JournalOp::Pump);
+        }
         let a = driver.accounting();
         Response::Status {
             complete: backend.is_complete(),
@@ -215,13 +403,44 @@ impl CampaignEngine {
 
     /// Current consensus labels in canonical line format.
     pub fn labels(&self) -> String {
-        let mut core = self.core.lock().expect("campaign lock poisoned");
-        let Core { driver, backend } = &mut *core;
+        let mut core = self.core_lock();
+        let Core {
+            driver,
+            backend,
+            journal,
+        } = &mut *core;
+        let before = driver.epoch();
         driver.pump(backend);
+        if driver.epoch() != before {
+            Self::journal_append(journal, driver, JournalOp::Pump);
+        }
         let results = backend.results(self.config.weighted_aggregation);
         let mut labels: Vec<(TaskId, Answer)> = results.into_iter().collect();
         labels.sort_unstable_by_key(|(t, _)| *t);
         labels_lines(&labels)
+    }
+
+    /// Applies a deferred-delivery pump without journaling — the
+    /// recovery path replaying a journaled `Pump` record.
+    pub(crate) fn replay_pump(&self) {
+        let mut core = self.core_lock();
+        let Core {
+            driver, backend, ..
+        } = &mut *core;
+        driver.pump(backend);
+    }
+
+    /// The checkpoint view of the driver: accounting, accepted answers,
+    /// latest tick and mutation epoch — what snapshots pin and recovery
+    /// verifies.
+    pub fn checkpoint(&self) -> (MarketAccounting, u64, u64, u64) {
+        let core = self.core_lock();
+        (
+            core.driver.accounting(),
+            core.driver.answers() as u64,
+            core.driver.now().0,
+            core.driver.epoch(),
+        )
     }
 
     /// A copy of one worker's serving statistics.
@@ -231,13 +450,23 @@ impl CampaignEngine {
 
     /// Drains the campaign into its scored result: pumps stragglers,
     /// forces the final sweep if the schedule did not complete, and
-    /// scores exactly as the in-process harness does.
+    /// scores exactly as the in-process harness does. The journal (if
+    /// any) is synced and closed *before* the drain sweep runs — drain
+    /// mutations are never journaled, so a recovered campaign resumes
+    /// from the last served state, not a half-drained one.
     pub fn finalize(self) -> CampaignResult {
-        let core = self.core.into_inner().expect("campaign lock poisoned");
+        let core = self
+            .core
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         let Core {
             mut driver,
             mut backend,
+            journal,
         } = core;
+        if let Some(mut j) = journal {
+            let _ = j.writer.sync();
+        }
         driver.pump(&mut backend);
         if !driver.is_finished() {
             driver.finish_now();
@@ -397,5 +626,92 @@ mod tests {
         let result = eng.finalize();
         assert!(result.accounting.balanced());
         assert!(!result.completed);
+    }
+
+    /// Journaling must not perturb the campaign: a journal-attached
+    /// engine produces the identical op stream the journal records, and
+    /// a journal-free engine at the same seed yields identical labels.
+    #[test]
+    fn journaled_engine_records_every_mutation_and_labels_match() {
+        let path =
+            std::env::temp_dir().join(format!("icrowd_engine_journal_{}.bin", std::process::id()));
+        let eng = engine();
+        eng.start_journal(&path, 1, 4).unwrap();
+
+        let plain = engine();
+        for i in 1..=5u32 {
+            let w = format!("W{i}");
+            let r1 = eng.handle(&Request::RequestTask { worker: w.clone() }, 0);
+            let r2 = plain.handle(&Request::RequestTask { worker: w.clone() }, 0);
+            assert_eq!(r1, r2, "journaling changed serving behavior");
+            if let Response::Task(task) = r1 {
+                let a1 = eng.handle(
+                    &Request::SubmitAnswer {
+                        worker: w.clone(),
+                        task,
+                        answer: Answer(0),
+                    },
+                    0,
+                );
+                let a2 = plain.handle(
+                    &Request::SubmitAnswer {
+                        worker: w,
+                        task,
+                        answer: Answer(0),
+                    },
+                    0,
+                );
+                assert_eq!(a1, a2);
+            }
+        }
+        let (acct, answers, end, epoch) = eng.checkpoint();
+        let r = eng.finalize();
+        assert!(r.accounting.balanced());
+
+        let readout = icrowd_platform::read_journal(&path).unwrap();
+        assert_eq!(
+            readout.header,
+            Some(CampaignEngine::expected_header(
+                "table1",
+                Approach::RandomMV,
+                &quick_config()
+            ))
+        );
+        assert!(!readout.ops.is_empty(), "mutating polls were journaled");
+        assert_eq!(readout.truncated_bytes, 0);
+
+        // Replaying the journal through a fresh engine reproduces the
+        // exact checkpoint the live engine reached.
+        let fresh = engine();
+        for op in &readout.ops {
+            match op {
+                JournalOp::Poll { worker, .. } => {
+                    fresh.handle(
+                        &Request::RequestTask {
+                            worker: worker.clone(),
+                        },
+                        0,
+                    );
+                }
+                JournalOp::Submit {
+                    worker,
+                    task,
+                    answer,
+                    ..
+                } => {
+                    fresh.handle(
+                        &Request::SubmitAnswer {
+                            worker: worker.clone(),
+                            task: TaskId(*task),
+                            answer: Answer(*answer),
+                        },
+                        0,
+                    );
+                }
+                JournalOp::Pump => fresh.replay_pump(),
+            }
+        }
+        assert_eq!(fresh.checkpoint(), (acct, answers, end, epoch));
+        std::fs::remove_file(&path).ok();
     }
 }

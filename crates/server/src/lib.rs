@@ -22,6 +22,10 @@
 //!   a bounded channel; a full queue rejects with `BUSY`
 //!   (accept-then-reject backpressure), and shutdown drains in-flight
 //!   connections before finalizing the campaign.
+//! * [`recovery`] — crash recovery: replay the write-ahead journal
+//!   (see [`icrowd_platform::journal`]) through a freshly prepared
+//!   engine, verify snapshots and conservation laws, truncate any torn
+//!   tail, and resume serving byte-identically.
 //! * [`client`] — a minimal blocking protocol client.
 //! * [`loadgen`] — N concurrent simulated workers (rebuilt from the
 //!   server's `HELLO` announcement) driving a campaign to completion,
@@ -34,12 +38,14 @@ pub mod client;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod sharded;
 
 pub use client::Conn;
-pub use engine::CampaignEngine;
+pub use engine::{config_fingerprint, CampaignEngine};
 pub use loadgen::{run_loadgen, ClientFaultConfig, LoadgenConfig, LoadgenReport};
 pub use protocol::{Request, Response};
+pub use recovery::{recover, RecoveryReport};
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use sharded::Sharded;

@@ -23,10 +23,21 @@
 //! --faults`) — a client that goes silent on a scheduled assignment
 //! would wedge the campaign, which is the lease/fault machinery's
 //! domain, not the load generator's.
+//!
+//! The generator survives server restarts: transport failures and
+//! `BUSY` back-pressure retry with bounded exponential backoff plus
+//! jitter, the target address is re-read from `--addr-file` on every
+//! connection (a restarted server binds a fresh ephemeral port), and
+//! answers are memoized per assignment so a re-submit after a
+//! crash-rewind replays the *identical* answer — the server accepts it
+//! once and rejects the copy as a duplicate, keeping accepted answers
+//! exactly-once. A no-progress watchdog (`give_up_ms`) bounds how long
+//! a wedged campaign can hang the run.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use icrowd_platform::market::WorkerBehavior;
@@ -106,10 +117,18 @@ impl ClientFaultConfig {
 pub struct LoadgenConfig {
     /// Server address (`host:port`).
     pub addr: String,
+    /// Re-read the server address from this file before every
+    /// connection (falls back to [`Self::addr`] while the file is
+    /// missing or empty). A restarted server writes its fresh ephemeral
+    /// address here.
+    pub addr_file: Option<String>,
     /// Number of concurrent client threads.
     pub workers: usize,
     /// Think time between a worker's poll cycles, milliseconds.
     pub think_ms: u64,
+    /// Abort when no answer lands for this long (milliseconds; `0`
+    /// disables the watchdog).
+    pub give_up_ms: u64,
     /// Client-side fault plan.
     pub faults: Option<ClientFaultConfig>,
     /// Send `SHUTDOWN` after the campaign completes.
@@ -122,8 +141,10 @@ impl Default for LoadgenConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:7700".to_owned(),
+            addr_file: None,
             workers: 8,
             think_ms: 0,
+            give_up_ms: 30_000,
             faults: None,
             shutdown: true,
             fetch_labels: true,
@@ -140,6 +161,8 @@ pub struct LoadgenReport {
     pub threads: usize,
     /// Total protocol requests issued.
     pub requests: u64,
+    /// Transport-level retries (reconnects after drops/`BUSY`).
+    pub retries: u64,
     /// Duplicate submissions injected (client faults).
     pub dups_sent: u64,
     /// Answers the server accepted (final `STATUS`).
@@ -171,17 +194,28 @@ struct Logical {
     external: String,
     sim: SimWorker,
     rng: Option<StdRng>,
+    /// Answers already drawn, by task id. `SimWorker::answer` advances
+    /// the worker's RNG, so a re-submit (reconnect, crash-rewind
+    /// re-issue) must replay the memoized draw rather than draw again —
+    /// that is what keeps a recovered campaign byte-identical to the
+    /// uninterrupted baseline. Entries are dropped on `dropped` /
+    /// `rejected` verdicts, after which the in-process harness would
+    /// also re-draw on the next assignment of that task.
+    answered: HashMap<u32, icrowd_core::answer::Answer>,
 }
 
 /// How one poll cycle left its worker.
 enum Cycle {
     /// Work continues; return the worker to the dispenser.
     Continue { answered: bool },
-    /// The worker is done (left, gave up, or stalled).
+    /// The worker is done and the campaign finished.
     Done,
     /// Transient pressure (`BUSY`); back off and retry.
     Backoff,
-    /// Transport error; retry a few times, then abort the run.
+    /// Transport failure (refused, reset, timeout, eviction); reconnect
+    /// with backoff — the server may be restarting.
+    Retry(String),
+    /// Protocol violation; abort the run loudly.
     Error(String),
 }
 
@@ -189,9 +223,51 @@ struct Shared {
     queue: Mutex<VecDeque<Logical>>,
     live: AtomicUsize,
     requests: AtomicU64,
+    retries: AtomicU64,
     dups_sent: AtomicU64,
     abort: AtomicBool,
     error: Mutex<Option<String>>,
+    /// Most recent transport error, folded into the give-up message.
+    last_retry: Mutex<Option<String>>,
+    /// Watchdog: when the run started, and elapsed-ms at last progress.
+    started: Instant,
+    progress_ms: AtomicU64,
+}
+
+impl Shared {
+    fn mark_progress(&self) {
+        self.progress_ms
+            .store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn stalled_for_ms(&self) -> u64 {
+        (self.started.elapsed().as_millis() as u64)
+            .saturating_sub(self.progress_ms.load(Ordering::Relaxed))
+    }
+}
+
+/// The connect target: the addr-file contents when configured and
+/// non-empty, else the static address.
+fn resolve_addr(config: &LoadgenConfig) -> String {
+    if let Some(path) = &config.addr_file {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return addr.to_owned();
+            }
+        }
+    }
+    config.addr.clone()
+}
+
+/// Bounded exponential backoff with jitter: ~2ms doubling to a 500ms
+/// cap, plus up to +50% random jitter so a fleet of retrying clients
+/// does not reconnect in lockstep.
+fn backoff_sleep(streak: u32, rng: &mut StdRng) {
+    let base = 2u64 << streak.min(8).saturating_sub(1);
+    let capped = base.min(500);
+    let jitter = rng.gen_range(0..=capped / 2 + 1);
+    std::thread::sleep(Duration::from_millis(capped + jitter));
 }
 
 /// Drives a full campaign against the server at `config.addr`.
@@ -207,8 +283,22 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         icrowd_obs::enable();
     }
 
-    // Campaign announcement → regenerate the roster locally.
-    let hello = Conn::open_retry(config.addr.as_str(), 25)?.call(&Request::Hello)?;
+    // Campaign announcement → regenerate the roster locally. Retried
+    // with backoff: the server (or its addr-file) may not be up yet.
+    let mut jitter_rng = jitter_rng();
+    let hello_deadline = Instant::now() + Duration::from_millis(config.give_up_ms.max(5_000));
+    let hello = loop {
+        let addr = resolve_addr(config);
+        match Conn::open(addr.as_str()).and_then(|mut c| c.call(&Request::Hello)) {
+            Ok(v) => break v,
+            Err(e) => {
+                if Instant::now() >= hello_deadline {
+                    return Err(format!("cannot reach server at `{addr}`: {e}"));
+                }
+                backoff_sleep(3, &mut jitter_rng);
+            }
+        }
+    };
     expect_ok(&hello, "hello")?;
     let dataset_key = hello
         .get("dataset")
@@ -231,6 +321,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             rng: config.faults.as_ref().map(|f| {
                 StdRng::seed_from_u64(f.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
             }),
+            answered: HashMap::new(),
         })
         .collect();
     let roster_size = roster.len();
@@ -239,9 +330,13 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         live: AtomicUsize::new(roster.len()),
         queue: Mutex::new(roster),
         requests: AtomicU64::new(1), // the HELLO
+        retries: AtomicU64::new(0),
         dups_sent: AtomicU64::new(0),
         abort: AtomicBool::new(false),
         error: Mutex::new(None),
+        last_retry: Mutex::new(None),
+        started: Instant::now(),
+        progress_ms: AtomicU64::new(0),
     });
 
     let start = Instant::now();
@@ -257,31 +352,37 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         t.join().map_err(|_| "client thread panicked".to_owned())?;
     }
     let elapsed = start.elapsed();
-    if let Some(e) = shared.error.lock().expect("error lock").take() {
+    if let Some(e) = shared
+        .error
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
         return Err(e);
     }
 
-    // Final probe: accounting, labels, optional shutdown.
-    let mut conn = Conn::open(config.addr.as_str())?;
-    let status = conn.call(&Request::Status)?;
-    expect_ok(&status, "status")?;
-    let labels = if config.fetch_labels {
-        let results = conn.call(&Request::Results)?;
-        expect_ok(&results, "results")?;
-        Some(
-            results
-                .get("labels")
-                .and_then(Value::as_str)
-                .ok_or("results carry no labels")?
-                .to_owned(),
-        )
-    } else {
-        None
+    // Final probe: accounting, labels, optional shutdown. The server
+    // may be mid-restart right now (a crash harness kills it at
+    // arbitrary instants), so the probe rides through transport
+    // failures the same way the drive loop does: re-resolve the
+    // address, back off, retry whole until the give-up deadline. Every
+    // request in the probe is idempotent, so restarting it is safe.
+    let probe_deadline = Instant::now() + Duration::from_millis(config.give_up_ms.max(5_000));
+    let mut streak = 0u32;
+    let (status, labels) = loop {
+        match final_probe(config) {
+            Ok(out) => break out,
+            Err(e) => {
+                if Instant::now() >= probe_deadline {
+                    return Err(format!("final probe never succeeded: {e}"));
+                }
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                icrowd_obs::counter_add("loadgen.retry", 1);
+                backoff_sleep(streak, &mut jitter_rng);
+                streak += 1;
+            }
+        }
     };
-    if config.shutdown {
-        let bye = conn.call(&Request::Shutdown)?;
-        expect_ok(&bye, "shutdown")?;
-    }
 
     let accepted = status_u64(&status, "accepted");
     let snap = icrowd_obs::snapshot();
@@ -300,6 +401,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         roster: roster_size,
         threads: config.workers,
         requests: shared.requests.load(Ordering::Relaxed),
+        retries: shared.retries.load(Ordering::Relaxed),
         dups_sent: shared.dups_sent.load(Ordering::Relaxed),
         accepted,
         rejected: status_u64(&status, "rejected"),
@@ -321,6 +423,33 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     })
 }
 
+/// One attempt at the end-of-run probe: connect, fetch STATUS (and
+/// LABELS when requested), then send SHUTDOWN. Any transport failure
+/// aborts the attempt; the caller retries the whole sequence.
+fn final_probe(config: &LoadgenConfig) -> Result<(Value, Option<String>), String> {
+    let mut conn = Conn::open(resolve_addr(config).as_str())?;
+    let status = conn.call(&Request::Status)?;
+    expect_ok(&status, "status")?;
+    let labels = if config.fetch_labels {
+        let results = conn.call(&Request::Results)?;
+        expect_ok(&results, "results")?;
+        Some(
+            results
+                .get("labels")
+                .and_then(Value::as_str)
+                .ok_or("results carry no labels")?
+                .to_owned(),
+        )
+    } else {
+        None
+    };
+    if config.shutdown {
+        let bye = conn.call(&Request::Shutdown)?;
+        expect_ok(&bye, "shutdown")?;
+    }
+    Ok((status, labels))
+}
+
 fn status_u64(status: &Value, field: &str) -> u64 {
     status
         .get("accounting")
@@ -337,20 +466,59 @@ fn expect_ok(v: &Value, what: &str) -> Result<(), String> {
     }
 }
 
+/// A jitter RNG seeded from the process-global hash randomness — the
+/// campaign's determinism never depends on backoff timing.
+fn jitter_rng() -> StdRng {
+    let seed = std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish();
+    StdRng::seed_from_u64(seed)
+}
+
 /// One client thread: pop a worker, run one cycle, repeat until the
 /// roster is exhausted (or the run aborts).
 fn drive(shared: &Shared, dataset: &Dataset, config: &LoadgenConfig) {
-    let mut error_streak = 0u32;
+    let mut retry_streak = 0u32;
+    let mut rng = jitter_rng();
+    let queue = |w: Logical| {
+        shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(w);
+    };
     while shared.live.load(Ordering::SeqCst) > 0 && !shared.abort.load(Ordering::SeqCst) {
-        let Some(mut worker) = shared.queue.lock().expect("queue lock").pop_front() else {
+        if config.give_up_ms > 0 && shared.stalled_for_ms() > config.give_up_ms {
+            let last = shared
+                .last_retry
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .map_or(String::new(), |e| format!(" (last transport error: {e})"));
+            *shared.error.lock().unwrap_or_else(PoisonError::into_inner) = Some(format!(
+                "no answer accepted for {}ms — campaign wedged, giving up{last}",
+                config.give_up_ms
+            ));
+            shared.abort.store(true, Ordering::SeqCst);
+            return;
+        }
+        let popped = shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
+        let Some(mut worker) = popped else {
             // All live workers are checked out by other threads.
             std::thread::sleep(Duration::from_micros(200));
             continue;
         };
         match cycle(shared, dataset, config, &mut worker) {
             Cycle::Continue { answered } => {
-                error_streak = 0;
-                shared.queue.lock().expect("queue lock").push_back(worker);
+                retry_streak = 0;
+                if answered {
+                    shared.mark_progress();
+                }
+                queue(worker);
                 if answered && config.think_ms > 0 {
                     std::thread::sleep(Duration::from_millis(config.think_ms));
                 } else if !answered {
@@ -359,27 +527,57 @@ fn drive(shared: &Shared, dataset: &Dataset, config: &LoadgenConfig) {
                 }
             }
             Cycle::Done => {
-                error_streak = 0;
+                retry_streak = 0;
+                shared.mark_progress();
                 shared.live.fetch_sub(1, Ordering::SeqCst);
             }
-            Cycle::Backoff => {
-                shared.queue.lock().expect("queue lock").push_back(worker);
-                std::thread::sleep(Duration::from_millis(2));
+            res @ (Cycle::Backoff | Cycle::Retry(_)) => {
+                // Transient: BUSY back-pressure, or the transport
+                // dropped (possibly a server restart — the next cycle
+                // re-resolves the address). Exponential backoff with
+                // jitter; the no-progress watchdog bounds the total.
+                if let Cycle::Retry(e) = res {
+                    *shared
+                        .last_retry
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(e);
+                }
+                retry_streak += 1;
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                icrowd_obs::counter_add("loadgen.retry", 1);
+                queue(worker);
+                backoff_sleep(retry_streak, &mut rng);
             }
             Cycle::Error(e) => {
-                error_streak += 1;
-                if error_streak >= 5 {
-                    // A wedged worker would stall the whole deterministic
-                    // schedule — fail loudly instead of hanging.
-                    *shared.error.lock().expect("error lock") =
-                        Some(format!("worker {}: {e}", worker.external));
-                    shared.abort.store(true, Ordering::SeqCst);
-                    return;
-                }
-                shared.queue.lock().expect("queue lock").push_back(worker);
-                std::thread::sleep(Duration::from_millis(10));
+                // Protocol violation — deterministic, retrying cannot
+                // help; fail loudly instead of hanging.
+                *shared.error.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(format!("worker {}: {e}", worker.external));
+                shared.abort.store(true, Ordering::SeqCst);
+                return;
             }
         }
+    }
+}
+
+/// The schedule says this worker is gone (left, terminally declined,
+/// or stalled) — but after a crash-rewind the recovered server may
+/// rewind that verdict, and the final sweep is driven by `STATUS`
+/// pumps. Probe the campaign state: the worker only retires once the
+/// campaign is actually complete or finished; until then it keeps
+/// polling (and gets `WAIT` when it truly has nothing to do).
+fn retire_probe(conn: &mut Conn, shared: &Shared) -> Cycle {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    match conn.call(&Request::Status) {
+        Ok(status) => {
+            let flag = |k: &str| status.get(k).and_then(Value::as_bool) == Some(true);
+            if flag("complete") || flag("finished") {
+                Cycle::Done
+            } else {
+                Cycle::Continue { answered: false }
+            }
+        }
+        Err(e) => Cycle::Retry(e),
     }
 }
 
@@ -391,9 +589,10 @@ fn cycle(
     config: &LoadgenConfig,
     worker: &mut Logical,
 ) -> Cycle {
-    let mut conn = match Conn::open(config.addr.as_str()) {
+    let addr = resolve_addr(config);
+    let mut conn = match Conn::open(addr.as_str()) {
         Ok(c) => c,
-        Err(e) => return Cycle::Error(e),
+        Err(e) => return Cycle::Retry(e),
     };
     let req = Request::RequestTask {
         worker: worker.external.clone(),
@@ -405,22 +604,23 @@ fn cycle(
     shared.requests.fetch_add(1, Ordering::Relaxed);
     let resp = match resp {
         Ok(v) => v,
-        Err(e) => return Cycle::Error(e),
+        Err(e) => return Cycle::Retry(e),
     };
-    if resp.get("type").and_then(Value::as_str) == Some("busy") {
-        return Cycle::Backoff;
-    }
     match resp.get("type").and_then(Value::as_str) {
         Some("task") => {}
         Some("wait") => return Cycle::Continue { answered: false },
+        Some("busy") => return Cycle::Backoff,
+        // Server-side trouble with this connection (idle eviction, a
+        // parse hiccup on a torn line): reconnect and retry.
+        Some("error") => return Cycle::Retry(format!("server error: {resp:?}")),
         Some("declined") => {
             return if resp.get("retry").and_then(Value::as_bool) == Some(true) {
                 Cycle::Continue { answered: false }
             } else {
-                Cycle::Done
+                retire_probe(&mut conn, shared)
             }
         }
-        Some("left") => return Cycle::Done,
+        Some("left") => return retire_probe(&mut conn, shared),
         _ => return Cycle::Error(format!("unexpected poll response {resp:?}")),
     }
     let Some(task) = resp.get("task").and_then(Value::as_u64) else {
@@ -429,8 +629,16 @@ fn cycle(
     let task = icrowd_core::task::TaskId(task as u32);
 
     // One answer draw per assignment — the same call the in-process
-    // harness makes, in the same schedule order.
-    let answer = worker.sim.answer(&dataset.tasks[task]);
+    // harness makes, in the same schedule order. A re-issued assignment
+    // (reconnect, crash rewind) replays the memoized draw instead of
+    // advancing the RNG again.
+    let answer = if let Some(a) = worker.answered.get(&task.0) {
+        *a
+    } else {
+        let a = worker.sim.answer(&dataset.tasks[task]);
+        worker.answered.insert(task.0, a);
+        a
+    };
 
     let mut dup = false;
     if let (Some(faults), Some(rng)) = (config.faults.as_ref(), worker.rng.as_mut()) {
@@ -453,7 +661,11 @@ fn cycle(
     shared.requests.fetch_add(1, Ordering::Relaxed);
     let resp = match resp {
         Ok(v) => v,
-        Err(e) => return Cycle::Error(e),
+        // The submit may or may not have landed before the transport
+        // dropped. The memoized answer makes the retry idempotent: the
+        // server accepts the (worker, task, answer) triple at most once
+        // and rejects the replay as a duplicate.
+        Err(e) => return Cycle::Retry(e),
     };
     if dup {
         // The copy is a stray; a compliant server rejects it as a
@@ -463,10 +675,14 @@ fn cycle(
         let _ = conn.call(&submit);
     }
     match resp.get("result").and_then(Value::as_str) {
-        Some("stalled") => Cycle::Done,
-        Some("accepted" | "rejected" | "dropped" | "deferred") => {
+        Some("stalled") => retire_probe(&mut conn, shared),
+        Some("rejected" | "dropped") => {
+            // The answer did not enter consensus; the next assignment
+            // of this task draws fresh, as the in-process harness does.
+            worker.answered.remove(&task.0);
             Cycle::Continue { answered: true }
         }
+        Some("accepted" | "deferred") => Cycle::Continue { answered: true },
         _ => Cycle::Error(format!("unexpected submit response {resp:?}")),
     }
 }

@@ -15,12 +15,12 @@
 //! and [`ServerHandle::join`] finalizes the campaign into its scored
 //! result.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use icrowd_sim::campaign::CampaignResult;
@@ -38,6 +38,10 @@ pub struct ServeConfig {
     pub handlers: usize,
     /// Bounded connection queue capacity; overflow is rejected `BUSY`.
     pub queue_cap: usize,
+    /// Evict a connection that has not completed a request line for
+    /// this long (slow-loris / stalled-client guard). `0` disables
+    /// eviction.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +50,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             handlers: 4,
             queue_cap: 64,
+            idle_timeout_ms: 10_000,
         }
     }
 }
@@ -73,16 +78,31 @@ impl ServerHandle {
 
     /// Blocks until the server drains (a `SHUTDOWN` op arrives or
     /// [`Self::shutdown`] is called), then finalizes and scores the
-    /// campaign.
+    /// campaign. A panicked transport thread is counted, not
+    /// propagated — the campaign result is still recoverable from the
+    /// engine.
     pub fn join(self) -> CampaignResult {
-        self.acceptor.join().expect("acceptor panicked");
-        for h in self.handlers {
-            h.join().expect("handler panicked");
+        if self.acceptor.join().is_err() {
+            icrowd_obs::counter_add("serve.thread_panic", 1);
         }
-        let engine = Arc::try_unwrap(self.engine)
-            .ok()
-            .expect("handlers hold no engine refs after join");
-        engine.finalize()
+        for h in self.handlers {
+            if h.join().is_err() {
+                icrowd_obs::counter_add("serve.thread_panic", 1);
+            }
+        }
+        // All threads are joined, so their engine refs are dropped;
+        // brief retries cover the unwinder still releasing a clone.
+        let mut engine = self.engine;
+        for _ in 0..50 {
+            match Arc::try_unwrap(engine) {
+                Ok(e) => return e.finalize(),
+                Err(arc) => {
+                    engine = arc;
+                    thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        unreachable!("handlers hold no engine refs after join")
     }
 }
 
@@ -103,12 +123,13 @@ pub fn serve(engine: CampaignEngine, config: &ServeConfig) -> std::io::Result<Se
         let shutdown = Arc::clone(&shutdown);
         thread::spawn(move || acceptor_loop(&listener, &tx, &shutdown))
     };
+    let idle_timeout = Duration::from_millis(config.idle_timeout_ms);
     let handlers = (0..config.handlers.max(1))
         .map(|_| {
             let rx = rx.clone();
             let engine = Arc::clone(&engine);
             let shutdown = Arc::clone(&shutdown);
-            thread::spawn(move || handler_loop(&rx, &engine, &shutdown))
+            thread::spawn(move || handler_loop(&rx, &engine, &shutdown, idle_timeout))
         })
         .collect();
     drop(rx);
@@ -152,51 +173,105 @@ fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &Atom
     }
 }
 
-fn handler_loop(rx: &Receiver<TcpStream>, engine: &CampaignEngine, shutdown: &AtomicBool) {
+fn handler_loop(
+    rx: &Receiver<TcpStream>,
+    engine: &CampaignEngine,
+    shutdown: &AtomicBool,
+    idle_timeout: Duration,
+) {
     // recv keeps returning buffered connections after the acceptor
     // disconnects — that is the drain: everything accepted is served.
     while let Ok(stream) = rx.recv() {
         icrowd_obs::gauge_set("serve.queue_depth", rx.len() as f64);
-        serve_connection(stream, engine, rx, shutdown);
+        serve_connection(stream, engine, rx, shutdown, idle_timeout);
     }
 }
 
-/// Serves one connection to EOF (or shutdown). Errors drop the
-/// connection; the protocol is stateless per line, so clients just
-/// reconnect.
-fn serve_connection(
-    stream: TcpStream,
-    engine: &CampaignEngine,
-    rx: &Receiver<TcpStream>,
+/// A request line (trailing `\n` stripped) accumulated byte-by-byte, or
+/// the reason the connection ended.
+enum LineRead {
+    Line(String),
+    Eof,
+    Evicted,
+    ShuttingDown,
+    Error,
+}
+
+/// Reads until `acc` holds a complete line, enforcing the idle
+/// deadline. Partial bytes survive read timeouts — a slow writer is
+/// only evicted once the *deadline* passes, never by losing data to a
+/// 100 ms poll tick.
+fn read_deadline_line(
+    stream: &mut TcpStream,
+    acc: &mut Vec<u8>,
     shutdown: &AtomicBool,
-) {
-    let _ = stream.set_nodelay(true);
-    // A finite read timeout lets the handler notice shutdown while
-    // parked on an idle connection.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut out = String::new();
+    idle_timeout: Duration,
+) -> LineRead {
+    let deadline_start = Instant::now();
+    let mut buf = [0u8; 4096];
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {}
+        if let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let rest = acc.split_off(pos + 1);
+            let line = std::mem::replace(acc, rest);
+            return LineRead::Line(String::from_utf8_lossy(&line).into_owned());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return LineRead::Eof,
+            Ok(n) => acc.extend_from_slice(&buf[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if shutdown.load(Ordering::SeqCst) {
-                    return; // drain: drop idle connections
+                    return LineRead::ShuttingDown; // drain: drop idle connections
                 }
-                continue;
+                if !idle_timeout.is_zero() && deadline_start.elapsed() >= idle_timeout {
+                    return LineRead::Evicted;
+                }
             }
-            Err(_) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return LineRead::Error,
         }
+    }
+}
+
+/// Serves one connection to EOF (or shutdown, or idle eviction).
+/// Errors drop the connection; the protocol is stateless per line, so
+/// clients just reconnect.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &CampaignEngine,
+    rx: &Receiver<TcpStream>,
+    shutdown: &AtomicBool,
+    idle_timeout: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets the handler notice shutdown and the
+    // idle deadline while parked on a quiet connection; a write
+    // deadline keeps a non-draining client from wedging the handler.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut acc: Vec<u8> = Vec::new();
+    let mut out = String::new();
+    loop {
+        let line = match read_deadline_line(&mut stream, &mut acc, shutdown, idle_timeout) {
+            LineRead::Line(line) => line,
+            LineRead::Evicted => {
+                icrowd_obs::counter_add("serve.conn_evicted", 1);
+                out.clear();
+                Response::Error {
+                    message: "idle timeout — connection evicted".to_owned(),
+                }
+                .encode_line(&mut out);
+                let _ = writer.write_all(out.as_bytes());
+                return;
+            }
+            LineRead::Eof | LineRead::ShuttingDown | LineRead::Error => return,
+        };
         if line.trim().is_empty() {
             continue;
         }

@@ -32,6 +32,7 @@ fn start(approach: Approach, handlers: usize, queue_cap: usize) -> icrowd_serve:
             addr: "127.0.0.1:0".to_owned(),
             handlers,
             queue_cap,
+            ..Default::default()
         },
     )
     .expect("bind ephemeral port")
@@ -53,6 +54,7 @@ fn loadgen_campaign_matches_in_process_labels_byte_for_byte() {
         faults: None,
         shutdown: true,
         fetch_labels: true,
+        ..Default::default()
     })
     .expect("loadgen completes");
     let served = handle.join();
@@ -241,6 +243,7 @@ fn loadgen_duplicates_do_not_perturb_consensus() {
         }),
         shutdown: true,
         fetch_labels: true,
+        ..Default::default()
     })
     .expect("loadgen completes");
     let served = handle.join();

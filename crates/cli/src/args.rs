@@ -13,6 +13,10 @@ pub struct Args {
     options: HashMap<String, String>,
     /// Bare `--flags` with no value.
     flags: Vec<String>,
+    /// Positional arguments after the subcommand (e.g. the file
+    /// operands of `icrowd obs report <file>`). Commands that take
+    /// none reject leftovers via [`Args::expect_no_positionals`].
+    positionals: Vec<String>,
 }
 
 /// CLI-level errors with user-facing messages.
@@ -31,8 +35,9 @@ impl Args {
     /// Parses raw arguments (without the program name).
     ///
     /// # Errors
-    /// Rejects empty input, a leading `--option` without a subcommand,
-    /// and stray positional arguments.
+    /// Rejects empty input and a leading `--option` without a
+    /// subcommand. Positional arguments are collected; commands that
+    /// take none reject them via [`Args::expect_no_positionals`].
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, CliError> {
         let mut iter = raw.into_iter().peekable();
         let command = iter
@@ -41,9 +46,11 @@ impl Args {
             .ok_or_else(|| CliError("expected a subcommand; try `icrowd help`".into()))?;
         let mut options = HashMap::new();
         let mut flags = Vec::new();
+        let mut positionals = Vec::new();
         while let Some(arg) = iter.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(CliError(format!("unexpected positional argument `{arg}`")));
+                positionals.push(arg);
+                continue;
             };
             match iter.peek() {
                 Some(v) if !v.starts_with("--") => {
@@ -56,6 +63,7 @@ impl Args {
             command,
             options,
             flags,
+            positionals,
         })
     }
 
@@ -86,6 +94,23 @@ impl Args {
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
+
+    /// The positional arguments after the subcommand.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Fails if any positional arguments were passed — the guard for
+    /// commands whose grammar is purely `--key value`.
+    ///
+    /// # Errors
+    /// Reports the first stray argument.
+    pub fn expect_no_positionals(&self) -> Result<(), CliError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(arg) => Err(CliError(format!("unexpected positional argument `{arg}`"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +136,23 @@ mod tests {
     fn rejects_missing_subcommand_and_positional_noise() {
         assert!(parse("").is_err());
         assert!(parse("--dataset yahooqa").is_err());
-        assert!(parse("campaign stray").is_err());
+        // Positionals parse, but a no-positional grammar rejects them.
+        let a = parse("campaign stray").unwrap();
+        assert_eq!(a.positionals(), ["stray"]);
+        assert!(a.expect_no_positionals().is_err());
+        assert!(parse("campaign --seed 7")
+            .unwrap()
+            .expect_no_positionals()
+            .is_ok());
+    }
+
+    #[test]
+    fn positionals_interleave_with_options() {
+        let a = parse("obs diff base.jsonl new.jsonl --assert --max-p99-regress 0.2").unwrap();
+        assert_eq!(a.command, "obs");
+        assert_eq!(a.positionals(), ["diff", "base.jsonl", "new.jsonl"]);
+        assert!(a.has_flag("assert"));
+        assert_eq!(a.get("max-p99-regress"), Some("0.2"));
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 /// # Errors
 /// Unknown subcommands, datasets, approaches or bad option values.
 pub fn run_with(args: &Args, notify: &mut dyn FnMut(&str)) -> Result<String, CliError> {
+    // `obs` takes positional operands (subcommand + files); every other
+    // grammar is purely `--key value`.
+    if args.command != "obs" {
+        args.expect_no_positionals()?;
+    }
     match args.command.as_str() {
         "help" => Ok(help_text()),
         "datasets" => datasets_cmd(),
@@ -43,6 +48,7 @@ pub fn run_with(args: &Args, notify: &mut dyn FnMut(&str)) -> Result<String, Cli
         "quals" => quals_cmd(args),
         "serve" => serve_cmd(args, notify),
         "loadgen" => loadgen_cmd(args),
+        "obs" => crate::obs_cmd::obs_cmd(args),
         other => Err(CliError(format!(
             "unknown subcommand `{other}`; try `icrowd help`"
         ))),
@@ -62,9 +68,14 @@ USAGE:
                     [--queue N] [--seed N] [--faults <spec>] [--labels-out <path>]
                     [--journal <path> | --recover <path>] [--fsync N]
                     [--snapshot-every N] [--idle-timeout-ms T] [--telemetry <path>]
+                    [--metrics-every MS] [--metrics-out <path>]
     icrowd loadgen  (--addr H:P | --addr-file <path>) [--workers N] [--think-ms T]
                     [--give-up-ms T] [--faults dup=R,late=R:MS,seed=N]
                     [--labels-out <path>] [--no-shutdown] [--telemetry <path>]
+    icrowd obs report <telemetry.jsonl> [--json]
+    icrowd obs diff <baseline.jsonl> <current.jsonl> [--assert] [--json]
+                    [--max-p99-regress R] [--max-p50-regress R]
+                    [--min-count N] [--span <prefix>]
 
 DATASETS:    yahooqa, item_compare, table1, quiz
 APPROACHES:  icrowd (Adapt), best-effort, qf-only, random-mv, random-em, avgacc-pv
@@ -80,6 +91,19 @@ FAULTS:      --faults injects marketplace faults, e.g.
 TELEMETRY:   --telemetry <path> records span timings (index.build, ppr.solve,
              assign.loop, estimator.refresh, ...), counters and marketplace
              events during the run and writes them to <path> as JSON lines.
+             Every p50/p99 comes from deterministic log-bucketed histograms
+             (≤1% relative error) exported alongside the span summaries, so
+             `icrowd obs report` and `icrowd obs diff` can recompute and
+             compare quantiles offline; `obs diff --assert` exits nonzero on
+             regression (the CI latency gate). A telemetry-armed `serve` +
+             `loadgen` pair also records a causally linked trace-span tree
+             per request (loadgen stamps trace ids; serve propagates them
+             engine -> driver -> journal).
+
+LIVE METRICS: `icrowd serve --metrics-every MS [--metrics-out <path>]` emits
+             a windowed snapshot (counter deltas, windowed histograms, gauge
+             min/max/last) as one JSON line per window. The METRICS protocol
+             verb scrapes the same windows on demand over the wire.
 
 SERVING:     `icrowd serve` hosts one campaign behind a line-delimited JSON
              TCP protocol (HELLO/REQUEST_TASK/SUBMIT_ANSWER/STATUS/RESULTS/
@@ -509,7 +533,15 @@ fn serve_cmd(args: &Args, notify: &mut dyn FnMut(&str)) -> Result<String, CliErr
         handlers: args.get_parsed("handlers", 4usize)?,
         queue_cap: args.get_parsed("queue", 64usize)?,
         idle_timeout_ms: args.get_parsed("idle-timeout-ms", 10_000u64)?,
+        metrics_every_ms: args.get_parsed("metrics-every", 0u64)?,
+        metrics_out: args.get("metrics-out").map(str::to_owned),
     };
+    if serve_config.metrics_every_ms > 0 && args.get("telemetry").is_none() {
+        // The window emitter reads the global registry; arm it even
+        // without an exit-time export path.
+        icrowd_obs::reset();
+        icrowd_obs::enable();
+    }
     let fsync_every = args.get_parsed("fsync", 1usize)?;
     let snapshot_every = args.get_parsed("snapshot-every", 64usize)?;
     let journal = args.get("journal");
@@ -612,8 +644,13 @@ fn loadgen_cmd(args: &Args) -> Result<String, CliError> {
     .unwrap();
     writeln!(
         out,
-        "requests: {}   accepted: {}   rejected: {}   dups sent: {}   retries: {}",
-        report.requests, report.accepted, report.rejected, report.dups_sent, report.retries
+        "requests: {}   accepted: {}   rejected: {}   dups sent: {}   retries: {}   busy: {}",
+        report.requests,
+        report.accepted,
+        report.rejected,
+        report.dups_sent,
+        report.retries,
+        report.busy
     )
     .unwrap();
     writeln!(
@@ -683,6 +720,7 @@ mod tests {
 
     #[test]
     fn campaign_telemetry_writes_parseable_jsonl() {
+        let _g = crate::obs_test_guard();
         let path = std::env::temp_dir().join("icrowd_cli_telemetry_test.jsonl");
         let path_str = path.to_str().unwrap().to_owned();
         let out = run_line(&format!(

@@ -17,6 +17,17 @@
 
 pub mod args;
 pub mod commands;
+pub mod obs_cmd;
 
 pub use args::{Args, CliError};
 pub use commands::{run, run_with};
+
+/// The telemetry registry is process-global; tests that arm or reset it
+/// serialize through this lock so the test harness's thread pool cannot
+/// interleave enable/reset calls across modules.
+#[cfg(test)]
+pub(crate) fn obs_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

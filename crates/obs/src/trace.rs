@@ -1,0 +1,186 @@
+//! Request-scoped tracing: causally linked span trees per protocol
+//! request.
+//!
+//! `icrowd loadgen` stamps a nonzero `u64` trace id on each protocol
+//! line; the serving layer opens a **root** trace span for the request
+//! ([`trace_begin`]) and every layer underneath — engine, market
+//! driver, journal — adds **child** spans ([`TraceSpan::start`])
+//! without any signature plumbing: the active trace rides a
+//! thread-local, which is correct because one request is handled
+//! start-to-finish on one handler thread.
+//!
+//! Each completed span becomes a [`TraceEvent`] in the global registry
+//! and is exported as one JSONL line
+//! (`{"type":"trace","trace":...,"span":...,"parent":...,...}`), so a
+//! `REQUEST_TASK` yields e.g.
+//!
+//! ```text
+//! serve.rpc.request (span 1, parent 0)
+//! └─ engine.request (span 2, parent 1)
+//!    ├─ driver.poll  (span 3, parent 2)
+//!    └─ journal.append (span 4, parent 2)
+//! ```
+//!
+//! Cost discipline matches the span path: with telemetry disabled,
+//! [`trace_begin`] and [`TraceSpan::start`] are a single relaxed
+//! atomic load — no clock read, no allocation, no thread-local write
+//! (asserted by the `noop_alloc` integration test). With telemetry
+//! enabled but no active trace on the thread (e.g. the in-process
+//! harness), a child span start is one thread-local read.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::{is_enabled, push_trace_event};
+
+/// One completed trace span, as recorded and exported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The request's trace id (nonzero; stamped by the client).
+    pub trace_id: u64,
+    /// This span's id, unique within the trace (root = 1).
+    pub span_id: u32,
+    /// The parent span's id (0 for the root).
+    pub parent_id: u32,
+    /// Span name (e.g. `"driver.poll"`).
+    pub name: &'static str,
+    /// Start time, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Per-thread active-trace state. `trace_id == 0` means no trace is
+/// active; ids/parents are plain counters so the whole context is
+/// `Copy` and lives in a `Cell`.
+#[derive(Clone, Copy)]
+struct Ctx {
+    trace_id: u64,
+    next_span: u32,
+    parent: u32,
+}
+
+const IDLE: Ctx = Ctx {
+    trace_id: 0,
+    next_span: 0,
+    parent: 0,
+};
+
+thread_local! {
+    static CTX: Cell<Ctx> = const { Cell::new(IDLE) };
+}
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+fn epoch_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Opens the root span of a trace on this thread. No-op (and
+/// allocation-free) when telemetry is disabled or `trace_id` is 0; a
+/// nested `trace_begin` while a trace is already active is also
+/// ignored (the outer trace wins — requests do not nest).
+#[must_use = "the trace is active until the guard drops"]
+pub fn trace_begin(trace_id: u64, name: &'static str) -> TraceGuard {
+    if !is_enabled() || trace_id == 0 || CTX.with(|c| c.get().trace_id != 0) {
+        return TraceGuard { armed: None };
+    }
+    CTX.with(|c| {
+        c.set(Ctx {
+            trace_id,
+            next_span: 2,
+            parent: 1,
+        });
+    });
+    TraceGuard {
+        armed: Some((trace_id, name, epoch_ns(), Instant::now())),
+    }
+}
+
+/// RAII root-span guard returned by [`trace_begin`]; emits the root
+/// [`TraceEvent`] and deactivates the thread's trace on drop.
+pub struct TraceGuard {
+    armed: Option<(u64, &'static str, u64, Instant)>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some((trace_id, name, start_ns, started)) = self.armed.take() {
+            CTX.with(|c| c.set(IDLE));
+            push_trace_event(TraceEvent {
+                trace_id,
+                span_id: 1,
+                parent_id: 0,
+                name,
+                start_ns,
+                dur_ns: started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}
+
+/// RAII child span: records a [`TraceEvent`] under the thread's active
+/// trace on drop, parented to the innermost enclosing span. Inactive
+/// (no clock read, no allocation) when telemetry is disabled or no
+/// trace is active on this thread.
+#[must_use = "a trace span times until it is dropped"]
+pub struct TraceSpan {
+    armed: Option<(u64, u32, u32, &'static str, u64, Instant)>,
+}
+
+impl TraceSpan {
+    /// Starts a child span named `name` under the active trace.
+    pub fn start(name: &'static str) -> Self {
+        if !is_enabled() {
+            return TraceSpan { armed: None };
+        }
+        let ctx = CTX.with(Cell::get);
+        if ctx.trace_id == 0 {
+            return TraceSpan { armed: None };
+        }
+        let span_id = ctx.next_span;
+        let parent = ctx.parent;
+        CTX.with(|c| {
+            c.set(Ctx {
+                trace_id: ctx.trace_id,
+                next_span: span_id + 1,
+                parent: span_id,
+            });
+        });
+        TraceSpan {
+            armed: Some((
+                ctx.trace_id,
+                span_id,
+                parent,
+                name,
+                epoch_ns(),
+                Instant::now(),
+            )),
+        }
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some((trace_id, span_id, parent_id, name, start_ns, started)) = self.armed.take() {
+            // Restore the parent scope (later siblings parent correctly
+            // even if the trace ended early — the push is a no-op then).
+            CTX.with(|c| {
+                let mut ctx = c.get();
+                if ctx.trace_id == trace_id {
+                    ctx.parent = parent_id;
+                    c.set(ctx);
+                }
+            });
+            push_trace_event(TraceEvent {
+                trace_id,
+                span_id,
+                parent_id,
+                name,
+                start_ns,
+                dur_ns: started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the log-bucketed histogram: merge is associative
+//! (bucket-exact, not just approximately), and reported percentiles stay
+//! within the advertised 1% relative-error bound of an exact sort across
+//! many orders of magnitude.
+
+use icrowd_obs::LogHistogram;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+fn hist_of(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning sub-bucket-resolution values up to multi-second
+/// nanosecond latencies: a magnitude in [0, 2^40) shaped by squaring a
+/// uniform draw so small and large octaves both get coverage.
+fn latency(raw: u64) -> u64 {
+    let unit = (raw % (1 << 20)) as f64 / (1u64 << 20) as f64;
+    (unit * unit * (1u64 << 40) as f64) as u64
+}
+
+/// The exact-order-statistic convention the histogram mirrors:
+/// rank = ceil(p * n) clamped into [1, n], 1-indexed.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_order_free(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..80),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..80),
+        c in proptest::collection::vec(0u64..u64::MAX, 0..80),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+
+        // One histogram fed every sample directly.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let bulk = hist_of(&all);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &bulk);
+        prop_assert_eq!(left.count(), all.len() as u64);
+    }
+
+    #[test]
+    fn percentiles_track_exact_sort_within_one_percent(
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..400),
+    ) {
+        let samples: Vec<u64> = raw.into_iter().map(latency).collect();
+        let h = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for &p in &[0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_percentile(&sorted, p);
+            let got = h.percentile(p);
+            // ≤1% relative error, with 1 unit of absolute slack so
+            // sub-bucket-resolution integers (exact below 2^7) and a
+            // zero exact value cannot manufacture a vacuous failure.
+            let tol = (exact as f64 * 0.01).max(1.0);
+            let err = got.abs_diff(exact) as f64;
+            prop_assert!(
+                err <= tol,
+                "p{} off by {} (got {}, exact {}, tol {})",
+                p, err, got, exact, tol
+            );
+            // And never outside the observed range.
+            prop_assert!(got >= sorted[0] && got <= *sorted.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn diff_then_merge_round_trips_a_window(
+        base in proptest::collection::vec(0u64..(1u64 << 40), 0..80),
+        extra in proptest::collection::vec(0u64..(1u64 << 40), 0..80),
+    ) {
+        let baseline = hist_of(&base);
+        let mut total = baseline.clone();
+        for &v in &extra {
+            total.record(v);
+        }
+
+        // The window delta must contain exactly the new samples.
+        // (`diff` reconstructs min/max at bucket resolution, so the
+        // comparison is on buckets/count/sum, not struct equality.)
+        let window = total.diff(&baseline);
+        let expect = hist_of(&extra);
+        prop_assert_eq!(window.count(), expect.count());
+        prop_assert_eq!(window.sum(), expect.sum());
+        prop_assert_eq!(
+            window.buckets().collect::<Vec<_>>(),
+            expect.buckets().collect::<Vec<_>>()
+        );
+
+        // Recombining it with the baseline restores the total's buckets.
+        let mut rebuilt = baseline.clone();
+        rebuilt.merge(&window);
+        prop_assert_eq!(rebuilt.count(), total.count());
+        prop_assert_eq!(
+            rebuilt.buckets().collect::<Vec<_>>(),
+            total.buckets().collect::<Vec<_>>()
+        );
+    }
+}

@@ -55,7 +55,16 @@ impl Conn {
     /// # Errors
     /// I/O failures, closed connections, and unparseable responses.
     pub fn call(&mut self, req: &Request) -> Result<Value, String> {
-        serde_json::write_to_string(&req.to_value(), &mut self.buf);
+        self.call_traced(req, None)
+    }
+
+    /// Sends one request with an optional trace id stamped on the line
+    /// (`None` / zero sends the plain encoding) and reads one response.
+    ///
+    /// # Errors
+    /// I/O failures, closed connections, and unparseable responses.
+    pub fn call_traced(&mut self, req: &Request, trace: Option<u64>) -> Result<Value, String> {
+        serde_json::write_to_string(&req.to_value_traced(trace), &mut self.buf);
         self.buf.push('\n');
         self.writer
             .write_all(self.buf.as_bytes())

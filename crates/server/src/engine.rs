@@ -204,6 +204,7 @@ impl CampaignEngine {
             return;
         };
         let _span = icrowd_obs::span!("journal.append");
+        let _tspan = icrowd_obs::TraceSpan::start("journal.append");
         let accepted = matches!(&op, JournalOp::Submit { verdict, .. } if verdict == "accepted");
         let mut failed = j.writer.append(&JournalRecord::Op(op)).is_err();
         if !failed {
@@ -252,12 +253,19 @@ impl CampaignEngine {
             Request::Results => Response::Results {
                 labels: self.labels(),
             },
+            // Normally answered at the transport layer without taking
+            // the engine lock; kept here so in-process callers can
+            // scrape through the same interface.
+            Request::Metrics => Response::Metrics {
+                window: icrowd_obs::window_advance().to_json(),
+            },
             Request::Shutdown => Response::Bye,
         }
     }
 
     fn request_task(&self, worker: &str) -> Response {
         let _span = icrowd_obs::span!("serve.request");
+        let _tspan = icrowd_obs::TraceSpan::start("engine.request");
         let outcome = {
             let mut core = self.core_lock();
             let Core {
@@ -302,6 +310,7 @@ impl CampaignEngine {
 
     fn submit_answer(&self, worker: &str, task: TaskId, answer: Answer) -> Response {
         let _span = icrowd_obs::span!("serve.submit");
+        let _tspan = icrowd_obs::TraceSpan::start("engine.submit");
         let resp = {
             let mut core = self.core_lock();
             let Core {

@@ -163,6 +163,8 @@ pub struct LoadgenReport {
     pub requests: u64,
     /// Transport-level retries (reconnects after drops/`BUSY`).
     pub retries: u64,
+    /// `BUSY` back-pressure responses received.
+    pub busy: u64,
     /// Duplicate submissions injected (client faults).
     pub dups_sent: u64,
     /// Answers the server accepted (final `STATUS`).
@@ -402,6 +404,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         threads: config.workers,
         requests: shared.requests.load(Ordering::Relaxed),
         retries: shared.retries.load(Ordering::Relaxed),
+        busy: icrowd_obs::counter_value("loadgen.busy"),
         dups_sent: shared.dups_sent.load(Ordering::Relaxed),
         accepted,
         rejected: status_u64(&status, "rejected"),
@@ -463,6 +466,30 @@ fn expect_ok(v: &Value, what: &str) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{what} failed: {v:?}"))
+    }
+}
+
+/// The next request trace id: unique within the process, never zero
+/// (zero means "untraced" on the wire). Only drawn when telemetry is
+/// enabled — untraced runs keep their request lines byte-identical to
+/// the pre-tracing encoding.
+fn next_trace_id() -> Option<u64> {
+    if !icrowd_obs::is_enabled() {
+        return None;
+    }
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    Some(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Records one client-side op round-trip under its outcome series:
+/// successful protocol ops land in `op` (the series the report and
+/// BENCH gates read), while BUSY back-pressure, server errors, and
+/// transport failures land in `retry_op` so retries never pollute the
+/// success quantiles. `started` is `None` when telemetry is disabled.
+fn record_op(started: Option<Instant>, ok: bool, op: &'static str, retry_op: &'static str) {
+    if let Some(t0) = started {
+        let ns = t0.elapsed().as_nanos() as u64;
+        icrowd_obs::record_span_ns(if ok { op } else { retry_op }, ns);
     }
 }
 
@@ -597,19 +624,36 @@ fn cycle(
     let req = Request::RequestTask {
         worker: worker.external.clone(),
     };
-    let resp = {
-        let _span = icrowd_obs::span!("loadgen.request");
-        conn.call(&req)
-    };
+    // Client-side round-trip timing is recorded under an
+    // outcome-dependent series: `loadgen.request` holds only requests
+    // the campaign made progress on, `loadgen.request.retry` holds
+    // BUSY/error/transport attempts — so queueing delay under overload
+    // is visible without skewing the success quantiles the BENCH gates
+    // read.
+    let started = icrowd_obs::is_enabled().then(Instant::now);
+    let resp = conn.call_traced(&req, next_trace_id());
     shared.requests.fetch_add(1, Ordering::Relaxed);
     let resp = match resp {
         Ok(v) => v,
-        Err(e) => return Cycle::Retry(e),
+        Err(e) => {
+            record_op(started, false, "loadgen.request", "loadgen.request.retry");
+            return Cycle::Retry(e);
+        }
     };
-    match resp.get("type").and_then(Value::as_str) {
+    let kind = resp.get("type").and_then(Value::as_str);
+    record_op(
+        started,
+        matches!(kind, Some("task" | "wait" | "declined" | "left")),
+        "loadgen.request",
+        "loadgen.request.retry",
+    );
+    match kind {
         Some("task") => {}
         Some("wait") => return Cycle::Continue { answered: false },
-        Some("busy") => return Cycle::Backoff,
+        Some("busy") => {
+            icrowd_obs::counter_add("loadgen.busy", 1);
+            return Cycle::Backoff;
+        }
         // Server-side trouble with this connection (idle eviction, a
         // parse hiccup on a torn line): reconnect and retry.
         Some("error") => return Cycle::Retry(format!("server error: {resp:?}")),
@@ -654,10 +698,8 @@ fn cycle(
         task,
         answer,
     };
-    let resp = {
-        let _span = icrowd_obs::span!("loadgen.submit");
-        conn.call(&submit)
-    };
+    let started = icrowd_obs::is_enabled().then(Instant::now);
+    let resp = conn.call_traced(&submit, next_trace_id());
     shared.requests.fetch_add(1, Ordering::Relaxed);
     let resp = match resp {
         Ok(v) => v,
@@ -665,8 +707,17 @@ fn cycle(
         // dropped. The memoized answer makes the retry idempotent: the
         // server accepts the (worker, task, answer) triple at most once
         // and rejects the replay as a duplicate.
-        Err(e) => return Cycle::Retry(e),
+        Err(e) => {
+            record_op(started, false, "loadgen.submit", "loadgen.submit.retry");
+            return Cycle::Retry(e);
+        }
     };
+    record_op(
+        started,
+        resp.get("result").and_then(Value::as_str).is_some(),
+        "loadgen.submit",
+        "loadgen.submit.retry",
+    );
     if dup {
         // The copy is a stray; a compliant server rejects it as a
         // duplicate, and the accounting's conservation law still holds.

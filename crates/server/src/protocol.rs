@@ -53,6 +53,9 @@ pub enum Request {
     Status,
     /// Current consensus labels in canonical line format.
     Results,
+    /// Live metrics scrape: close the current telemetry window and
+    /// return it (counter deltas, windowed histograms, gauge extremes).
+    Metrics,
     /// Graceful drain: stop accepting, flush in-flight, finalize.
     Shutdown,
 }
@@ -63,27 +66,40 @@ impl Request {
     /// # Errors
     /// Malformed JSON, unknown ops, or missing/mistyped fields.
     pub fn parse(line: &str) -> Result<Request, String> {
+        Self::parse_with_trace(line).map(|(req, _)| req)
+    }
+
+    /// Parses one request line together with its optional `"trace"` id
+    /// (a nonzero `u64` stamped by tracing clients; absent or zero
+    /// means the request is untraced).
+    ///
+    /// # Errors
+    /// Malformed JSON, unknown ops, or missing/mistyped fields.
+    pub fn parse_with_trace(line: &str) -> Result<(Request, Option<u64>), String> {
         let v: Value =
             serde_json::from_str(line.trim()).map_err(|_| "malformed JSON".to_owned())?;
         let op = v
             .get("op")
             .and_then(Value::as_str)
             .ok_or_else(|| "missing \"op\"".to_owned())?;
-        match op {
-            "HELLO" => Ok(Request::Hello),
-            "REQUEST_TASK" => Ok(Request::RequestTask {
+        let trace = v.get("trace").and_then(Value::as_u64).filter(|&t| t != 0);
+        let req = match op {
+            "HELLO" => Request::Hello,
+            "REQUEST_TASK" => Request::RequestTask {
                 worker: str_field(&v, "worker")?,
-            }),
-            "SUBMIT_ANSWER" => Ok(Request::SubmitAnswer {
+            },
+            "SUBMIT_ANSWER" => Request::SubmitAnswer {
                 worker: str_field(&v, "worker")?,
                 task: TaskId(u64_field(&v, "task")? as u32),
                 answer: Answer(u64_field(&v, "answer")? as u8),
-            }),
-            "STATUS" => Ok(Request::Status),
-            "RESULTS" => Ok(Request::Results),
-            "SHUTDOWN" => Ok(Request::Shutdown),
-            other => Err(format!("unknown op `{other}`")),
-        }
+            },
+            "STATUS" => Request::Status,
+            "RESULTS" => Request::Results,
+            "METRICS" => Request::Metrics,
+            "SHUTDOWN" => Request::Shutdown,
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        Ok((req, trace))
     }
 
     /// Encodes the request as its wire JSON value.
@@ -105,8 +121,20 @@ impl Request {
             }),
             Request::Status => json!({"op": "STATUS"}),
             Request::Results => json!({"op": "RESULTS"}),
+            Request::Metrics => json!({"op": "METRICS"}),
             Request::Shutdown => json!({"op": "SHUTDOWN"}),
         }
+    }
+
+    /// Encodes the request with a `"trace"` id stamped on the line
+    /// (omitted when `trace` is `None` or zero, keeping untraced lines
+    /// byte-identical to [`Request::to_value`]).
+    pub fn to_value_traced(&self, trace: Option<u64>) -> Value {
+        let mut v = self.to_value();
+        if let (Some(t), Value::Object(o)) = (trace.filter(|&t| t != 0), &mut v) {
+            o.push(("trace".into(), json!(t)));
+        }
+        v
     }
 }
 
@@ -179,6 +207,12 @@ pub enum Response {
     Results {
         /// The label lines.
         labels: String,
+    },
+    /// One closed telemetry window (`METRICS` verb), carried as the
+    /// pre-serialized JSON object `icrowd-obs` emitted for it.
+    Metrics {
+        /// `WindowReport::to_json()` output.
+        window: String,
     },
     /// Shutdown acknowledged.
     Bye,
@@ -266,6 +300,15 @@ impl Response {
             Response::Results { labels } => {
                 json!({"ok": true, "type": "results", "labels": labels})
             }
+            Response::Metrics { window } => {
+                // The window payload is already JSON (hand-written by
+                // icrowd-obs); embed it structurally so the line stays
+                // one object. A parse failure would be an obs encoder
+                // bug — degrade to a string rather than panic.
+                let payload = serde_json::from_str::<Value>(window)
+                    .unwrap_or_else(|_| json!(window.as_str()));
+                json!({"ok": true, "type": "metrics", "window": payload})
+            }
             Response::Bye => json!({"ok": true, "type": "bye"}),
             Response::Busy => {
                 json!({"ok": false, "type": "busy", "error": "server at capacity; retry"})
@@ -311,12 +354,53 @@ mod tests {
             },
             Request::Status,
             Request::Results,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in reqs {
             let line = serde_json::to_string(&req.to_value()).unwrap();
             assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
         }
+    }
+
+    #[test]
+    fn trace_ids_ride_the_line_without_changing_the_request() {
+        let req = Request::RequestTask {
+            worker: "W7".into(),
+        };
+        // Stamped: the id round-trips (u64-exact, beyond 2^53).
+        let id = u64::MAX - 3;
+        let line = serde_json::to_string(&req.to_value_traced(Some(id))).unwrap();
+        assert!(line.contains("\"trace\""), "{line}");
+        let (parsed, trace) = Request::parse_with_trace(&line).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(trace, Some(id));
+        // Unstamped (None or zero): byte-identical to the plain encoding.
+        let plain = serde_json::to_string(&req.to_value()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&req.to_value_traced(None)).unwrap(),
+            plain
+        );
+        assert_eq!(
+            serde_json::to_string(&req.to_value_traced(Some(0))).unwrap(),
+            plain
+        );
+        let (_, trace) = Request::parse_with_trace(&plain).unwrap();
+        assert_eq!(trace, None);
+        // A zero id on the wire is treated as untraced.
+        let (_, trace) = Request::parse_with_trace("{\"op\":\"STATUS\",\"trace\":0}").unwrap();
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn metrics_response_embeds_the_window_structurally() {
+        let line = response_line(&Response::Metrics {
+            window: "{\"type\":\"window\",\"seq\":3,\"dur_ns\":10,\"spans\":[],\"counters\":[],\"gauges\":[]}".into(),
+        });
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["type"].as_str(), Some("metrics"));
+        assert_eq!(v["window"]["seq"].as_u64(), Some(3));
+        assert_eq!(v["window"]["type"].as_str(), Some("window"));
     }
 
     #[test]

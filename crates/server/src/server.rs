@@ -42,6 +42,13 @@ pub struct ServeConfig {
     /// this long (slow-loris / stalled-client guard). `0` disables
     /// eviction.
     pub idle_timeout_ms: u64,
+    /// Advance and emit a telemetry window every this many
+    /// milliseconds (`icrowd serve --metrics-every`). `0` disables the
+    /// emitter; the `METRICS` verb works regardless.
+    pub metrics_every_ms: u64,
+    /// Where the periodic window JSONL stream goes; `None` writes to
+    /// stderr.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +58,8 @@ impl Default for ServeConfig {
             handlers: 4,
             queue_cap: 64,
             idle_timeout_ms: 10_000,
+            metrics_every_ms: 0,
+            metrics_out: None,
         }
     }
 }
@@ -61,6 +70,7 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     acceptor: JoinHandle<()>,
     handlers: Vec<JoinHandle<()>>,
+    emitter: Option<JoinHandle<()>>,
     engine: Arc<CampaignEngine>,
 }
 
@@ -87,6 +97,11 @@ impl ServerHandle {
         }
         for h in self.handlers {
             if h.join().is_err() {
+                icrowd_obs::counter_add("serve.thread_panic", 1);
+            }
+        }
+        if let Some(e) = self.emitter {
+            if e.join().is_err() {
                 icrowd_obs::counter_add("serve.thread_panic", 1);
             }
         }
@@ -133,14 +148,63 @@ pub fn serve(engine: CampaignEngine, config: &ServeConfig) -> std::io::Result<Se
         })
         .collect();
     drop(rx);
+    let emitter = (config.metrics_every_ms > 0).then(|| {
+        let shutdown = Arc::clone(&shutdown);
+        let every = Duration::from_millis(config.metrics_every_ms);
+        let out = config.metrics_out.clone();
+        thread::spawn(move || metrics_emitter_loop(&shutdown, every, out.as_deref()))
+    });
 
     Ok(ServerHandle {
         addr,
         shutdown,
         acceptor,
         handlers,
+        emitter,
         engine,
     })
+}
+
+/// Closes a telemetry window every `every` and appends its JSON line to
+/// `out` (stderr when `None`). Emits one final window on shutdown so
+/// the tail of the run is never lost to the tick boundary.
+fn metrics_emitter_loop(shutdown: &AtomicBool, every: Duration, out: Option<&str>) {
+    let mut sink: Option<std::fs::File> = out.and_then(|p| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(p)
+            .ok()
+    });
+    // Stream only flows when the operator passed `--metrics-every`;
+    // with no `--metrics-out` path it goes to stderr (never stdout,
+    // which belongs to the caller's output).
+    let mut emit = |line: String| {
+        let ok = match sink.as_mut() {
+            Some(f) => f.write_all(line.as_bytes()).and_then(|()| f.flush()),
+            None => std::io::stderr().write_all(line.as_bytes()),
+        };
+        if ok.is_err() {
+            icrowd_obs::counter_add("serve.metrics_emit_error", 1);
+        }
+    };
+    loop {
+        let done = shutdown.load(Ordering::SeqCst);
+        let window = icrowd_obs::window_advance();
+        emit(format!("{}\n", window.to_json()));
+        if done {
+            return;
+        }
+        // Sleep in short slices so shutdown latency stays bounded even
+        // with a long window period.
+        let tick_start = Instant::now();
+        while tick_start.elapsed() < every {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            thread::sleep(Duration::from_millis(20).min(every));
+        }
+    }
 }
 
 fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &AtomicBool) {
@@ -151,13 +215,13 @@ fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &Atom
         match listener.accept() {
             Ok((stream, _)) => {
                 let _span = icrowd_obs::span!("serve.accept");
-                icrowd_obs::counter_add("serve.accept", 1);
+                icrowd_obs::counter_add("serve.conn_accepted", 1);
                 match tx.try_send(stream) {
                     Ok(()) => {
                         icrowd_obs::gauge_set("serve.queue_depth", tx.len() as f64);
                     }
                     Err(TrySendError::Full(mut stream)) => {
-                        icrowd_obs::counter_add("serve.busy", 1);
+                        icrowd_obs::counter_add("serve.conn_busy", 1);
                         let line = crate::protocol::response_line(&Response::Busy);
                         let _ = stream.write_all(line.as_bytes());
                         // closed on drop — accept-then-reject backpressure
@@ -275,8 +339,8 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let resp = match Request::parse(&line) {
-            Ok(Request::Shutdown) => {
+        let resp = match Request::parse_with_trace(&line) {
+            Ok((Request::Shutdown, _)) => {
                 let resp = engine.handle(&Request::Shutdown, rx.len());
                 resp.encode_line(&mut out);
                 let _ = writer.write_all(out.as_bytes());
@@ -284,7 +348,27 @@ fn serve_connection(
                 shutdown.store(true, Ordering::SeqCst);
                 return;
             }
-            Ok(req) => engine.handle(&req, rx.len()),
+            // METRICS is transport-level: it scrapes the telemetry
+            // plane, not the campaign, so it never takes the engine
+            // lock (scraping a busy server cannot perturb assignment).
+            Ok((Request::Metrics, _)) => Response::Metrics {
+                window: icrowd_obs::window_advance().to_json(),
+            },
+            Ok((req, trace)) => {
+                // The root span of this request's trace; engine /
+                // driver / journal spans attach underneath via the
+                // thread-local trace context. Untraced lines skip all
+                // of this at the cost of one atomic load.
+                let _root = icrowd_obs::trace_begin(
+                    trace.unwrap_or(0),
+                    match &req {
+                        Request::RequestTask { .. } => "serve.rpc.request",
+                        Request::SubmitAnswer { .. } => "serve.rpc.submit",
+                        _ => "serve.rpc.other",
+                    },
+                );
+                engine.handle(&req, rx.len())
+            }
             Err(message) => Response::Error { message },
         };
         resp.encode_line(&mut out);

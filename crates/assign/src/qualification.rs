@@ -29,6 +29,7 @@ use rand::Rng;
 /// rejection rule needs enough of them to be meaningful).
 pub fn select_qualification_influence(index: &LinearityIndex, q: usize) -> Vec<TaskId> {
     let n = index.num_tasks();
+    let n32 = u32::try_from(n).expect("task count fits in u32");
     let mut covered = vec![false; n];
     let mut selected = Vec::with_capacity(q.min(n));
 
@@ -61,7 +62,7 @@ pub fn select_qualification_influence(index: &LinearityIndex, q: usize) -> Vec<T
             .count()
     };
 
-    let mut heap: BinaryHeap<Entry> = (0..n as u32)
+    let mut heap: BinaryHeap<Entry> = (0..n32)
         .map(|task| Entry {
             gain: marginal(task, &covered),
             round: 0,
@@ -98,7 +99,7 @@ pub fn select_qualification_influence(index: &LinearityIndex, q: usize) -> Vec<T
     // Coverage saturated early: top up with unselected tasks in id order.
     if selected.len() < target {
         let chosen: std::collections::HashSet<u32> = selected.iter().map(|t| t.0).collect();
-        for i in 0..n as u32 {
+        for i in 0..n32 {
             if selected.len() == target {
                 break;
             }
@@ -113,7 +114,8 @@ pub fn select_qualification_influence(index: &LinearityIndex, q: usize) -> Vec<T
 /// Random qualification selection (`RandomQF`): `q` distinct tasks drawn
 /// uniformly, in draw order.
 pub fn select_qualification_random<R: Rng>(num_tasks: usize, q: usize, rng: &mut R) -> Vec<TaskId> {
-    let mut ids: Vec<u32> = (0..num_tasks as u32).collect();
+    let n32 = u32::try_from(num_tasks).expect("task count fits in u32");
+    let mut ids: Vec<u32> = (0..n32).collect();
     let take = q.min(num_tasks);
     for i in 0..take {
         let j = rng.gen_range(i..ids.len());

@@ -120,10 +120,11 @@ fn rss_mb() -> u64 {
 
 fn run_one(n: usize, cap: usize) {
     let telemetry = std::env::var("FIG10_TELEMETRY").ok();
-    if telemetry.is_some() {
-        icrowd_obs::reset();
-        icrowd_obs::enable();
-    }
+    // Telemetry is always armed: the per-request latency distribution
+    // (p50/p99 of the assign.loop span) comes from the obs histograms,
+    // and the assign-gate CI job asserts the p99 against a baseline.
+    icrowd_obs::reset();
+    icrowd_obs::enable();
     let debug_mem = std::env::var("FIG10_MEM").is_ok();
     {
         {
@@ -185,14 +186,40 @@ fn run_one(n: usize, cap: usize) {
                     }
                 }
             }
+            // Per-request latency distribution from the assign.loop span
+            // (nanosecond histogram recorded inside request_task).
+            let (p50_us, p99_us) = icrowd_obs::span_histogram("assign.loop")
+                .filter(|h| h.count() > 0)
+                .map_or((0.0, 0.0), |h| {
+                    (
+                        h.percentile(0.50) as f64 / 1e3,
+                        h.percentile(0.99) as f64 / 1e3,
+                    )
+                });
             println!(
-                "{:>12} {:>6} {:>18.2} {:>22.1} {:>16.1}",
+                "{:>12} {:>6} {:>18.2} {:>22.1} {:>16.1} (p50 {:.1} us, p99 {:.1} us)",
                 n,
                 cap,
                 build_s,
                 assign_time * 1e3,
-                assign_time * 1e6 / requests as f64
+                assign_time * 1e6 / requests as f64,
+                p50_us,
+                p99_us
             );
+            // Latency gate: FIG10_MAX_P99_US fails the child when the
+            // assignment p99 regressed past the budget.
+            if let Some(max_p99) = std::env::var("FIG10_MAX_P99_US")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                if p99_us > max_p99 {
+                    eprintln!(
+                        "assign-gate: p99 {p99_us:.1} us exceeds budget {max_p99:.1} us \
+                         (n={n}, cap={cap})"
+                    );
+                    std::process::exit(1);
+                }
+            }
             if let Ok(path) = std::env::var("FIG10_JSON") {
                 let row = serde_json::json!({
                     "tasks": n,
@@ -202,6 +229,8 @@ fn run_one(n: usize, cap: usize) {
                     "index_build_s": build_s,
                     "assign_1000_ms": assign_time * 1e3,
                     "per_request_us": assign_time * 1e6 / requests as f64,
+                    "request_p50_us": p50_us,
+                    "request_p99_us": p99_us,
                 });
                 if let Ok(mut f) = std::fs::OpenOptions::new()
                     .create(true)

@@ -457,6 +457,48 @@ impl AccuracyEstimator {
             .collect()
     }
 
+    /// The mode's absent-cell estimate for `worker`: what every task
+    /// *without* a populated accumulator cell estimates to (0 in `Raw`
+    /// mode, the worker's baseline otherwise). Together with
+    /// [`Self::cell_scores`] this is a complete sparse view of the
+    /// dense estimate vector.
+    pub fn baseline_score(&self, worker: WorkerId) -> f64 {
+        Self::cell_estimate(self.mode, self.baseline(worker), None)
+    }
+
+    /// The estimate at `task` if the worker has a populated accumulator
+    /// cell there, else `None` (meaning the estimate is
+    /// [`Self::baseline_score`]). One `BTreeMap` lookup; never touches
+    /// the dense cache.
+    pub fn cell_score(&self, worker: WorkerId, task: TaskId) -> Option<f64> {
+        let state = self.workers.get(worker.index())?;
+        let cell = state.accum.get(&task.0)?;
+        Some(Self::cell_estimate(
+            self.mode,
+            self.baseline(worker),
+            Some(cell),
+        ))
+    }
+
+    /// All tasks with a populated accumulator cell for `worker`, with
+    /// their estimates, in ascending task-id order. Tasks not yielded
+    /// estimate to [`Self::baseline_score`]. This is the delta surface
+    /// incremental candidate caches subscribe to: after any
+    /// `record_*` call, only the recorded task's PPR support can have
+    /// entered, left, or changed value in this iteration.
+    pub fn cell_scores(&self, worker: WorkerId) -> impl Iterator<Item = (TaskId, f64)> + '_ {
+        let baseline = self.baseline(worker);
+        let mode = self.mode;
+        self.workers
+            .get(worker.index())
+            .into_iter()
+            .flat_map(move |s| {
+                s.accum.iter().map(move |(&j, cell)| {
+                    (TaskId(j), Self::cell_estimate(mode, baseline, Some(cell)))
+                })
+            })
+    }
+
     /// Dense estimate derived from the running accumulators: the default
     /// value everywhere, overwritten per populated cell.
     fn compute_incremental(
@@ -902,6 +944,46 @@ mod tests {
         let baseline = e.baseline(w(0));
         for &v in e.accuracies(w(0)) {
             assert_eq!(v, baseline);
+        }
+    }
+
+    #[test]
+    fn cell_scores_cover_the_dense_vector_in_every_mode() {
+        for mode in [
+            EstimationMode::Raw,
+            EstimationMode::Centered,
+            EstimationMode::Normalized,
+        ] {
+            let mut e = estimator(mode);
+            e.record_qualification(w(0), t(0), Answer::YES, Answer::YES);
+            inject(&mut e, w(0), t(4), 0.3);
+            let all: Vec<TaskId> = (0..6).map(t).collect();
+            let dense = e.accuracies_for(w(0), &all);
+            let sparse: std::collections::BTreeMap<u32, f64> =
+                e.cell_scores(w(0)).map(|(t, s)| (t.0, s)).collect();
+            for (j, &d) in dense.iter().enumerate() {
+                let via_cell = sparse
+                    .get(&(j as u32))
+                    .copied()
+                    .unwrap_or_else(|| e.baseline_score(w(0)));
+                assert!(
+                    (via_cell - d).abs() < 1e-15,
+                    "{mode:?} task {j}: cell view {via_cell} vs dense {d}"
+                );
+                assert_eq!(
+                    e.cell_score(w(0), t(j as u32)),
+                    sparse.get(&(j as u32)).copied()
+                );
+            }
+            // Unknown workers expose an empty cell view and the default
+            // absent-cell score.
+            assert_eq!(e.cell_scores(w(9)).count(), 0);
+            let absent = if mode == EstimationMode::Raw {
+                0.0
+            } else {
+                0.5
+            };
+            assert_eq!(e.baseline_score(w(9)), absent);
         }
     }
 

@@ -20,18 +20,25 @@ use icrowd_core::task::TaskId;
 use icrowd_graph::SimilarityGraph;
 
 /// Per-task fractional evidence counts `(N1, N0)` for one worker.
+///
+/// Sparse: a worker's evidence only ever touches her observed tasks and
+/// their graph neighbors, so the dense two-`Vec<f64>`-of-`|T|` layout
+/// wasted O(|T|) zeroed memory *per worker* — and registering a worker
+/// mid-campaign paid that allocation inside a single `request_task`
+/// call (a multi-hundred-µs spike at Figure-10 scale). Absent entries
+/// read as zero evidence, bit-identical to the dense representation.
 #[derive(Debug, Clone)]
 pub struct NeighborhoodEvidence {
-    n1: Vec<f64>,
-    n0: Vec<f64>,
+    counts: std::collections::HashMap<u32, (f64, f64)>,
+    num_tasks: usize,
 }
 
 impl NeighborhoodEvidence {
     /// Zero evidence over `num_tasks` tasks.
     pub fn new(num_tasks: usize) -> Self {
         Self {
-            n1: vec![0.0; num_tasks],
-            n0: vec![0.0; num_tasks],
+            counts: std::collections::HashMap::new(),
+            num_tasks,
         }
     }
 
@@ -40,11 +47,13 @@ impl NeighborhoodEvidence {
     /// incorrect fractional counts.
     pub fn record(&mut self, graph: &SimilarityGraph, task: TaskId, q: f64) {
         debug_assert!((0.0..=1.0).contains(&q));
-        self.n1[task.index()] += q;
-        self.n0[task.index()] += 1.0 - q;
+        let cell = self.counts.entry(task.0).or_insert((0.0, 0.0));
+        cell.0 += q;
+        cell.1 += 1.0 - q;
         for (nb, _) in graph.neighbors(task) {
-            self.n1[nb.index()] += q;
-            self.n0[nb.index()] += 1.0 - q;
+            let cell = self.counts.entry(nb.0).or_insert((0.0, 0.0));
+            cell.0 += q;
+            cell.1 += 1.0 - q;
         }
     }
 
@@ -54,34 +63,37 @@ impl NeighborhoodEvidence {
     /// double-counted).
     pub fn withdraw(&mut self, graph: &SimilarityGraph, task: TaskId, q: f64) {
         debug_assert!((0.0..=1.0).contains(&q));
-        self.n1[task.index()] -= q;
-        self.n0[task.index()] -= 1.0 - q;
+        let cell = self.counts.entry(task.0).or_insert((0.0, 0.0));
+        cell.0 -= q;
+        cell.1 -= 1.0 - q;
         for (nb, _) in graph.neighbors(task) {
-            self.n1[nb.index()] -= q;
-            self.n0[nb.index()] -= 1.0 - q;
+            let cell = self.counts.entry(nb.0).or_insert((0.0, 0.0));
+            cell.0 -= q;
+            cell.1 -= 1.0 - q;
         }
     }
 
     /// The evidence counts `(N1, N0)` at `task`.
     pub fn counts(&self, task: TaskId) -> (f64, f64) {
-        (self.n1[task.index()], self.n0[task.index()])
+        self.counts.get(&task.0).copied().unwrap_or((0.0, 0.0))
     }
 
     /// The beta-posterior variance at `task` — the paper's Step-3
     /// uncertainty score. Tasks with no nearby evidence score the
     /// uniform-prior maximum `1/12`.
     pub fn variance(&self, task: TaskId) -> f64 {
-        beta_variance(self.n1[task.index()], self.n0[task.index()])
+        let (n1, n0) = self.counts(task);
+        beta_variance(n1, n0)
     }
 
     /// Number of tasks tracked.
     pub fn len(&self) -> usize {
-        self.n1.len()
+        self.num_tasks
     }
 
     /// Whether no tasks are tracked.
     pub fn is_empty(&self) -> bool {
-        self.n1.is_empty()
+        self.num_tasks == 0
     }
 }
 

@@ -30,8 +30,32 @@
 //! in the similarity graph — an index lookup) plus a rotating sample of
 //! other open tasks. This is the "effective index structure" that keeps
 //! per-request assignment cost independent of `|T|`.
+//!
+//! ## The incremental assignment hot path
+//!
+//! Under a candidate cap the framework additionally maintains, instead
+//! of rebuilding per request:
+//!
+//! * a per-worker **rank cache** (`rank`) of her open warm tasks —
+//!   tasks with a populated estimator accumulator cell — keyed so set
+//!   iteration yields descending score; patched on qualification
+//!   answers (baseline shifts), task completions (cell deltas over the
+//!   completed task's PPR support) and task closures;
+//! * a **warm inverted index** (`warm`) from task id to the workers
+//!   warm there with their exact scores, giving candidate scoring one
+//!   lookup per task instead of one estimator probe per (worker, task);
+//! * a **deadline-ordered lease queue** replacing the per-request
+//!   O(workers) expiry sweep, and a **remaining-capacity counter**
+//!   (`rem_cap`) replacing the per-candidate capacity-holder walk.
+//!
+//! The rebuild-per-request scoring survives as the debug-mode oracle:
+//! every capped request in a debug build re-derives the top worker sets
+//! the old way and asserts bitwise equality, and
+//! [`ICrowd::validate_incremental_state`] re-checks every maintained
+//! structure against from-scratch recomputation.
 
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use icrowd_assign::{greedy_assign, performance_test_assignment, top_worker_set, TopWorkerSet};
 use icrowd_core::answer::{Answer, Vote};
@@ -87,6 +111,18 @@ struct Lease {
     kind: AssignmentKind,
     deadline: Tick,
 }
+
+/// Step-3 stride cap on the uncapped path.
+const MAX_TEST_CANDIDATES: usize = 256;
+/// Step-3 stride cap on the capped fast path, where the candidate pool
+/// is already small and per-candidate co-worker walks dominate.
+const MAX_TEST_CANDIDATES_CAPPED: usize = 32;
+/// Fresh candidate pulls per active worker from her rank cache.
+const RANK_TOP_K: usize = 2;
+/// Rank-cache entries scanned per worker while skipping full tasks.
+const RANK_SCAN: usize = 16;
+/// Rotating exploration sample per request on the capped fast path.
+const EXPLORE_SAMPLE: usize = 8;
 
 /// Builder for [`ICrowd`].
 pub struct ICrowdBuilder {
@@ -205,6 +241,11 @@ impl ICrowdBuilder {
             consensus.preset(q, truth);
             open.remove(&q.0);
         }
+        let cap16 =
+            u16::try_from(self.config.assignment_size).expect("assignment_size fits in u16");
+        let rem_cap = vec![cap16; self.tasks.len()];
+        // Pre-sized so no request ever pays an O(|T|) resize mid-flight.
+        let inflight_workers = vec![Vec::new(); self.tasks.len()];
         ICrowd {
             activity: ActivityTracker::new(self.config.activity_window),
             warmup: WarmUp::new(qualification),
@@ -216,7 +257,11 @@ impl ICrowdBuilder {
             config: self.config,
             in_flight: Vec::new(),
             expired_last: Vec::new(),
-            inflight_workers: Vec::new(),
+            inflight_workers,
+            lease_queue: BinaryHeap::new(),
+            rem_cap,
+            rank: Vec::new(),
+            warm: BTreeMap::new(),
             open,
             open_cursor: 0,
             influence_scratch: InfluenceScratch::new(),
@@ -247,6 +292,23 @@ pub struct ICrowd {
     expired_last: Vec<Option<TaskId>>,
     /// Workers currently holding each task (regular assignments only).
     inflight_workers: Vec<Vec<WorkerId>>,
+    /// Deadline-ordered queue of `(deadline, worker)` lease entries with
+    /// lazy invalidation: renewals and consumed leases leave stale
+    /// entries behind, and a popped entry only acts when it still matches
+    /// the worker's live lease exactly (see [`Self::expire_leases`]).
+    lease_queue: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Remaining capacity per task: `assignment_size − voters − holders`,
+    /// maintained at every vote and lease transition so the hot path
+    /// never walks capacity holders.
+    rem_cap: Vec<u16>,
+    /// Per-worker rank cache over her open *warm* tasks (tasks with an
+    /// estimator accumulator cell), keyed by [`Self::rank_key`] so set
+    /// iteration yields scores descending, ties by ascending task id.
+    /// Only maintained under a candidate cap (see module docs).
+    rank: Vec<BTreeSet<(u64, u32)>>,
+    /// Inverse of `rank`: open task id → workers warm there with their
+    /// exact scores, sorted by worker id. Only maintained under a cap.
+    warm: BTreeMap<u32, Vec<(WorkerId, f64)>>,
     /// Open (not globally completed) task ids.
     open: BTreeSet<u32>,
     /// Round-robin cursor into `open` for candidate sampling.
@@ -389,7 +451,7 @@ impl ICrowd {
     /// Counts and reports a rejected submission.
     fn reject(&mut self, reason: RejectReason) -> SubmitOutcome {
         self.answers_rejected += 1;
-        icrowd_obs::counter_add(&format!("answer.rejected.{}", reason.name()), 1);
+        icrowd_obs::counter_add(reason.counter_name(), 1);
         SubmitOutcome::Rejected(reason)
     }
 
@@ -408,6 +470,9 @@ impl ICrowd {
             self.in_flight.resize(w.index() + 1, None);
             self.expired_last.resize(w.index() + 1, None);
             self.regular_assignments.resize(w.index() + 1, 0);
+        }
+        if self.rank.len() <= w.index() {
+            self.rank.resize_with(w.index() + 1, BTreeSet::new);
         }
         self.estimator.register_worker(w);
     }
@@ -431,11 +496,9 @@ impl ICrowd {
                 .is_none_or(|v| !v.contains(&worker))
     }
 
-    /// Remaining capacity of `task`.
+    /// Remaining capacity of `task` — the maintained counter, O(1).
     fn remaining_capacity(&self, task: TaskId) -> usize {
-        self.config
-            .assignment_size
-            .saturating_sub(self.capacity_holders(task).len())
+        usize::from(self.rem_cap[task.index()])
     }
 
     /// Reclaims expired assignment leases: the holder's capacity is
@@ -444,23 +507,83 @@ impl ICrowd {
     /// the worker's own re-requests, so an active worker never loses a
     /// live assignment, while a no-show forfeits hers after `lease_len`
     /// ticks whether or not she ever comes back.
+    ///
+    /// The queue is deadline-ordered with lazy invalidation, so each call
+    /// costs O(expired · log queue) instead of a sweep over every
+    /// registered worker. Per-worker expiry effects commute, so popping
+    /// in deadline order reaches the exact state of the old id-order
+    /// sweep.
     fn expire_leases(&mut self, now: Tick) {
-        for wi in 0..self.in_flight.len() {
-            let w = WorkerId(wi as u32);
-            if let Some(lease) = self.in_flight[wi] {
-                if now >= lease.deadline {
-                    self.in_flight[wi] = None;
-                    self.expired_last[wi] = Some(lease.task);
+        while let Some(&Reverse((deadline, wi))) = self.lease_queue.peek() {
+            if deadline > now.0 {
+                break;
+            }
+            self.lease_queue.pop();
+            let w = WorkerId(wi);
+            match self.in_flight.get(w.index()).copied().flatten() {
+                Some(lease) if lease.deadline.0 == deadline => {
+                    self.in_flight[w.index()] = None;
+                    self.expired_last[w.index()] = Some(lease.task);
                     self.leases_expired += 1;
                     icrowd_obs::counter_add("lease.expired", 1);
                     if lease.kind == AssignmentKind::Regular {
                         if let Some(v) = self.inflight_workers.get_mut(lease.task.index()) {
                             v.retain(|&x| x != w);
                         }
+                        self.rem_cap[lease.task.index()] += 1;
                     }
                 }
+                // Stale entry: the lease was renewed, consumed, or the
+                // worker holds a newer one.
+                _ => {}
             }
         }
+    }
+
+    /// Rotating exploration sampler: inserts open tasks into `cand`
+    /// starting at the persisted cursor, counting only *fresh*
+    /// insertions toward `budget` — a task already pooled (e.g. from an
+    /// influence support overlapping the cursor window) must not
+    /// silently shrink the exploration sample. A full-wrap guard
+    /// terminates once every open task has been visited. With
+    /// `require_capacity`, full tasks are skipped outright instead of
+    /// being pooled and filtered later.
+    fn sample_open_into(
+        &mut self,
+        cand: &mut BTreeSet<u32>,
+        budget: usize,
+        require_capacity: bool,
+    ) {
+        let mut taken = 0usize;
+        let mut wrapped = false;
+        let mut cursor = self.open_cursor;
+        let start = cursor;
+        while taken < budget {
+            match self.open.range(cursor..).next().copied() {
+                Some(t) => {
+                    if wrapped && t >= start {
+                        break;
+                    }
+                    if (!require_capacity || self.rem_cap[t as usize] > 0) && cand.insert(t) {
+                        taken += 1;
+                    }
+                    match t.checked_add(1) {
+                        Some(c) => cursor = c,
+                        None if !wrapped => {
+                            wrapped = true;
+                            cursor = 0;
+                        }
+                        None => break,
+                    }
+                }
+                None if !wrapped => {
+                    wrapped = true;
+                    cursor = 0;
+                }
+                None => break,
+            }
+        }
+        self.open_cursor = cursor;
     }
 
     /// Assembles the candidate task pool for this round (see module
@@ -472,14 +595,23 @@ impl ICrowd {
             cand.extend(self.open.iter().copied());
         } else {
             // Tasks the graph can say anything about for these workers.
+            // The walk is bounded: support discovered past the pool cap
+            // could never be pooled anyway.
             for &w in active {
+                if cand.len() >= self.candidate_limit {
+                    break;
+                }
                 if let Some(observed) = self.estimator.observed(w) {
                     let seeds: Vec<TaskId> = observed.keys().map(|&t| TaskId(t)).collect();
-                    let support = self
-                        .estimator
-                        .index()
-                        .influence_support_with(&seeds, &mut self.influence_scratch);
+                    let support = self.estimator.index().influence_support_bounded(
+                        &seeds,
+                        &mut self.influence_scratch,
+                        self.candidate_limit,
+                    );
                     for &t in support {
+                        if cand.len() >= self.candidate_limit {
+                            break;
+                        }
                         if self.open.contains(&t) {
                             cand.insert(t);
                         }
@@ -488,25 +620,7 @@ impl ICrowd {
             }
             // Rotating sample of further open tasks for exploration.
             let sample = self.candidate_limit.saturating_sub(cand.len());
-            let mut taken = 0usize;
-            let mut wrapped = false;
-            let mut cursor = self.open_cursor;
-            while taken < sample {
-                let next = self.open.range(cursor..).next().copied();
-                match next {
-                    Some(t) => {
-                        cand.insert(t);
-                        taken += 1;
-                        cursor = t + 1;
-                    }
-                    None if !wrapped => {
-                        wrapped = true;
-                        cursor = 0;
-                    }
-                    None => break,
-                }
-            }
-            self.open_cursor = cursor;
+            self.sample_open_into(&mut cand, sample, false);
         }
         cand.into_iter()
             .map(TaskId)
@@ -524,6 +638,10 @@ impl ICrowd {
         active.retain(|&w| self.in_flight.get(w.index()).copied().flatten().is_none());
         if !active.contains(&worker) {
             return None;
+        }
+
+        if self.capped() && self.open.len() > self.candidate_limit {
+            return self.adaptive_assign_capped(worker, &active);
         }
 
         let candidates = self.candidate_tasks(&active);
@@ -568,9 +686,23 @@ impl ICrowd {
             }
         }
 
+        self.finish_assign(worker, &sets, &candidates, MAX_TEST_CANDIDATES)
+    }
+
+    /// Steps 2–3 of Algorithm 2 over prepared top worker sets: greedy
+    /// disjoint packing, the requester's best containing set as the
+    /// conflict fallback, and performance testing when no set contains
+    /// her.
+    fn finish_assign(
+        &mut self,
+        worker: WorkerId,
+        sets: &[TopWorkerSet],
+        candidates: &[TaskId],
+        max_test: usize,
+    ) -> Option<TaskId> {
         // Step 2: greedy optimal assignment; serve the requester if some
         // winning set contains her.
-        let scheme = greedy_assign(&sets);
+        let scheme = greedy_assign(sets);
         if let Some(assignment) = scheme.iter().find(|a| a.worker_ids().any(|w| w == worker)) {
             return Some(assignment.task);
         }
@@ -604,13 +736,12 @@ impl ICrowd {
         // sample suffices — any reasonably uncertain task does the job,
         // and scanning co-workers of thousands of tasks would reintroduce
         // the per-request cost the candidate cap removed.
-        const MAX_TEST_CANDIDATES: usize = 256;
         let eligible: Vec<TaskId> = candidates
             .iter()
             .copied()
             .filter(|&t| self.eligible(worker, t) && self.remaining_capacity(t) > 0)
             .collect();
-        let stride = (eligible.len() / MAX_TEST_CANDIDATES).max(1);
+        let stride = (eligible.len() / max_test).max(1);
         let test_candidates: Vec<(TaskId, Vec<WorkerId>)> = eligible
             .iter()
             .step_by(stride)
@@ -622,6 +753,356 @@ impl ICrowd {
             icrowd_obs::counter_add("assign.test", 1);
         }
         pick
+    }
+
+    /// Algorithm 2 on the capped fast path: candidates come from the
+    /// incrementally maintained per-worker rank caches plus a rotating
+    /// exploration sample, and each top worker set is assembled from the
+    /// task's warm scores merged with a shared cold ranking instead of a
+    /// full active × candidates score matrix. Produces sets bitwise
+    /// identical to the rebuild-per-request construction (asserted in
+    /// debug builds against [`Self::debug_assert_sets_match_oracle`]).
+    fn adaptive_assign_capped(&mut self, worker: WorkerId, active: &[WorkerId]) -> Option<TaskId> {
+        // Candidate selection: the best few open-with-capacity tasks
+        // from each active worker's rank cache, plus exploration.
+        let mut cand: BTreeSet<u32> = BTreeSet::new();
+        for &w in active {
+            if cand.len() >= self.candidate_limit {
+                break;
+            }
+            let Some(ranked) = self.rank.get(w.index()) else {
+                continue;
+            };
+            let mut pulled = 0usize;
+            for (scanned, &(_, t)) in ranked.iter().enumerate() {
+                if pulled >= RANK_TOP_K
+                    || scanned >= RANK_SCAN
+                    || cand.len() >= self.candidate_limit
+                {
+                    break;
+                }
+                if self.rem_cap[t as usize] == 0 {
+                    continue;
+                }
+                if cand.insert(t) {
+                    pulled += 1;
+                }
+            }
+        }
+        let budget = EXPLORE_SAMPLE.min(self.candidate_limit.saturating_sub(cand.len()));
+        self.sample_open_into(&mut cand, budget, true);
+        if cand.is_empty() {
+            return None;
+        }
+        let candidates: Vec<TaskId> = cand.iter().copied().map(TaskId).collect();
+
+        // Shared cold ranking: every active worker at her absent-cell
+        // score, ordered exactly as `top_worker_set` orders (score
+        // descending, worker id ascending).
+        let mut cold_rank: Vec<(WorkerId, f64)> = active
+            .iter()
+            .map(|&w| (w, self.estimator.baseline_score(w)))
+            .collect();
+        cold_rank.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let k = self.config.assignment_size;
+        let cold_full: Vec<(WorkerId, f64)> = cold_rank.iter().copied().take(k).collect();
+        let mut active_mask = vec![false; self.in_flight.len()];
+        for &w in active {
+            active_mask[w.index()] = true;
+        }
+
+        // Step 1: top worker sets.
+        let mut sets: Vec<TopWorkerSet> = Vec::with_capacity(candidates.len());
+        let mut subset: Vec<(WorkerId, f64)> = Vec::new();
+        for &t in &candidates {
+            let remaining = usize::from(self.rem_cap[t.index()]);
+            if remaining == 0 {
+                continue;
+            }
+            let warm_here = self.warm.get(&t.0);
+            let any_active_warm =
+                warm_here.is_some_and(|l| l.iter().any(|&(w, _)| active_mask[w.index()]));
+            if !any_active_warm && remaining == k {
+                // Cold and untouched: no votes, no holders, and no
+                // warm-up history (qualification tasks are never open),
+                // so every active worker is eligible at her cold score —
+                // the set is a shared prefix of the cold ranking.
+                sets.push(TopWorkerSet {
+                    task: t,
+                    workers: cold_full.clone(),
+                    remaining: k,
+                });
+                continue;
+            }
+            // Warm or partially filled: the true top-`remaining` set is
+            // contained in (eligible warm actives) ∪ (the first
+            // `remaining` eligible cold actives) — any later cold worker
+            // is dominated by `remaining` earlier entries.
+            subset.clear();
+            if let Some(list) = warm_here {
+                for &(w, s) in list {
+                    if active_mask[w.index()] && self.eligible(w, t) {
+                        subset.push((w, s));
+                    }
+                }
+            }
+            let mut cold_taken = 0usize;
+            for &(w, s) in &cold_rank {
+                if cold_taken >= remaining {
+                    break;
+                }
+                if warm_here.is_some_and(|l| l.binary_search_by_key(&w, |&(x, _)| x).is_ok()) {
+                    continue;
+                }
+                if self.eligible(w, t) {
+                    subset.push((w, s));
+                    cold_taken += 1;
+                }
+            }
+            let set = top_worker_set(t, subset.iter().copied(), remaining);
+            if !set.workers.is_empty() {
+                sets.push(set);
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        self.debug_assert_sets_match_oracle(active, &candidates, &sets);
+
+        self.finish_assign(worker, &sets, &candidates, MAX_TEST_CANDIDATES_CAPPED)
+    }
+
+    /// Debug-mode oracle for the capped fast path: re-derives the top
+    /// worker sets the way the uncapped path does — a full active ×
+    /// candidates score matrix through the estimator — and asserts the
+    /// incremental construction matched bitwise.
+    #[cfg(debug_assertions)]
+    fn debug_assert_sets_match_oracle(
+        &mut self,
+        active: &[WorkerId],
+        candidates: &[TaskId],
+        sets: &[TopWorkerSet],
+    ) {
+        let acc: Vec<Vec<f64>> = active
+            .iter()
+            .map(|&w| self.estimator.accuracies_for(w, candidates))
+            .collect();
+        let mut oracle: Vec<TopWorkerSet> = Vec::with_capacity(candidates.len());
+        for (ci, &t) in candidates.iter().enumerate() {
+            let remaining = self
+                .config
+                .assignment_size
+                .saturating_sub(self.capacity_holders(t).len());
+            if remaining == 0 {
+                continue;
+            }
+            let eligible = active
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| self.eligible(w, t))
+                .map(|(wi, &w)| (w, acc[wi][ci]));
+            let set = top_worker_set(t, eligible, remaining);
+            if !set.workers.is_empty() {
+                oracle.push(set);
+            }
+        }
+        assert_eq!(oracle.len(), sets.len(), "oracle disagrees on set count");
+        for (a, b) in oracle.iter().zip(sets) {
+            assert_eq!(a.task, b.task, "oracle disagrees on set task");
+            let aw: Vec<(u32, u64)> = a.workers.iter().map(|&(w, s)| (w.0, s.to_bits())).collect();
+            let bw: Vec<(u32, u64)> = b.workers.iter().map(|&(w, s)| (w.0, s.to_bits())).collect();
+            assert_eq!(aw, bw, "oracle disagrees on workers of task {:?}", a.task);
+        }
+    }
+
+    /// Whether the candidate-pool cap — and with it the incremental
+    /// candidate cache — is in force.
+    fn capped(&self) -> bool {
+        self.candidate_limit != usize::MAX
+    }
+
+    /// Rank-cache key for a (score, task) pair. Scores are clamped to
+    /// `[0, 1]` (never negative, never NaN), so complementing the
+    /// IEEE-754 bits makes ascending `BTreeSet` order iterate scores
+    /// descending, ties broken by ascending task id.
+    fn rank_key(score: f64, task: u32) -> (u64, u32) {
+        (!score.to_bits(), task)
+    }
+
+    /// Rebuilds one worker's rank/warm entries from the estimator's
+    /// cell view. Called after qualification answers — a baseline shift
+    /// moves every one of the worker's cell scores at once, so patching
+    /// is no cheaper than rebuilding her (small) slice of the cache.
+    fn refresh_worker_rank(&mut self, worker: WorkerId) {
+        if !self.capped() {
+            return;
+        }
+        let old = std::mem::take(&mut self.rank[worker.index()]);
+        for &(_, t) in &old {
+            if let Some(list) = self.warm.get_mut(&t) {
+                if let Ok(pos) = list.binary_search_by_key(&worker, |&(w, _)| w) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.warm.remove(&t);
+                }
+            }
+        }
+        let mut fresh = old;
+        fresh.clear();
+        let Self {
+            estimator,
+            open,
+            warm,
+            ..
+        } = self;
+        for (t, s) in estimator.cell_scores(worker) {
+            if !open.contains(&t.0) {
+                continue;
+            }
+            fresh.insert(Self::rank_key(s, t.0));
+            let list = warm.entry(t.0).or_default();
+            match list.binary_search_by_key(&worker, |&(w, _)| w) {
+                Ok(pos) => list[pos] = (worker, s),
+                Err(pos) => list.insert(pos, (worker, s)),
+            }
+        }
+        self.rank[worker.index()] = fresh;
+    }
+
+    /// Completion-time patch of the candidate caches: a completed task
+    /// changes its voters' cells over exactly the support of its PPR
+    /// vector (and no baselines), so only those (voter, task) entries
+    /// are re-scored.
+    fn record_completion_capped(&mut self, task: TaskId, votes: &[Vote], consensus: Answer) {
+        let support: Vec<u32> = self.estimator.index().vector(task).support().collect();
+        for v in votes {
+            let w = v.worker;
+            for &j in &support {
+                if let Some(list) = self.warm.get_mut(&j) {
+                    if let Ok(pos) = list.binary_search_by_key(&w, |&(x, _)| x) {
+                        let (_, old_score) = list[pos];
+                        list.remove(pos);
+                        if list.is_empty() {
+                            self.warm.remove(&j);
+                        }
+                        if let Some(ranked) = self.rank.get_mut(w.index()) {
+                            ranked.remove(&Self::rank_key(old_score, j));
+                        }
+                    }
+                }
+            }
+        }
+        self.estimator.record_completed_task(task, votes, consensus);
+        let Self {
+            estimator,
+            open,
+            warm,
+            rank,
+            ..
+        } = self;
+        for v in votes {
+            let w = v.worker;
+            for &j in &support {
+                if !open.contains(&j) {
+                    continue;
+                }
+                if let Some(s) = estimator.cell_score(w, TaskId(j)) {
+                    rank[w.index()].insert(Self::rank_key(s, j));
+                    let list = warm.entry(j).or_default();
+                    match list.binary_search_by_key(&w, |&(x, _)| x) {
+                        Ok(pos) => list[pos] = (w, s),
+                        Err(pos) => list.insert(pos, (w, s)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops a completed task from every worker's candidate cache:
+    /// closed tasks are never candidates again, so evicting them here
+    /// keeps rank iteration free of per-entry open-set checks.
+    fn purge_closed_candidate(&mut self, task: TaskId) {
+        if let Some(list) = self.warm.remove(&task.0) {
+            for (w, s) in list {
+                if let Some(ranked) = self.rank.get_mut(w.index()) {
+                    ranked.remove(&Self::rank_key(s, task.0));
+                }
+            }
+        }
+    }
+
+    /// Asserts the incrementally maintained hot-path state against
+    /// from-scratch recomputation: `rem_cap` vs counted capacity
+    /// holders, the lease queue covering every live lease, and (under a
+    /// candidate cap) the rank/warm caches against the estimator's cell
+    /// view. Debug builds run this after every request; the fault-plan
+    /// equivalence tests call it explicitly.
+    ///
+    /// # Panics
+    /// Panics if any maintained structure drifted from its oracle.
+    pub fn validate_incremental_state(&self) {
+        // rem_cap mirrors assignment_size − holders wherever it can
+        // matter: open tasks and tasks with live leases.
+        let mut check: BTreeSet<u32> = self.open.iter().copied().collect();
+        check.extend(self.in_flight.iter().flatten().map(|l| l.task.0));
+        for &tid in &check {
+            let t = TaskId(tid);
+            let swept = self
+                .config
+                .assignment_size
+                .saturating_sub(self.capacity_holders(t).len());
+            assert_eq!(
+                usize::from(self.rem_cap[t.index()]),
+                swept,
+                "rem_cap drifted from recomputation on task {tid}"
+            );
+        }
+        // Every live lease is covered by a queue entry at its exact
+        // deadline (lazy invalidation only ever leaves *extra* entries).
+        let queued: std::collections::HashSet<(u64, u32)> =
+            self.lease_queue.iter().map(|r| r.0).collect();
+        for (wi, lease) in self.in_flight.iter().enumerate() {
+            if let Some(l) = lease {
+                let w = u32::try_from(wi).expect("worker id fits in u32");
+                assert!(
+                    queued.contains(&(l.deadline.0, w)),
+                    "live lease of worker {wi} missing from the deadline queue"
+                );
+            }
+        }
+        if !self.capped() {
+            return;
+        }
+        // Rank caches mirror the estimator's cell view over open tasks.
+        for (wi, ranked) in self.rank.iter().enumerate() {
+            let w = WorkerId(u32::try_from(wi).expect("worker id fits in u32"));
+            let expect: BTreeSet<(u64, u32)> = self
+                .estimator
+                .cell_scores(w)
+                .filter(|(t, _)| self.open.contains(&t.0))
+                .map(|(t, s)| Self::rank_key(s, t.0))
+                .collect();
+            assert_eq!(
+                ranked, &expect,
+                "rank cache drifted from the estimator for worker {wi}"
+            );
+        }
+        // The warm index is the exact inverse of the rank caches.
+        let mut inverse: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+        for (wi, ranked) in self.rank.iter().enumerate() {
+            for &(key, t) in ranked {
+                inverse
+                    .entry(t)
+                    .or_default()
+                    .push((u32::try_from(wi).expect("worker id fits in u32"), !key));
+            }
+        }
+        let warm_view: BTreeMap<u32, Vec<(u32, u64)>> = self
+            .warm
+            .iter()
+            .map(|(&t, list)| (t, list.iter().map(|&(w, s)| (w.0, s.to_bits())).collect()))
+            .collect();
+        assert_eq!(warm_view, inverse, "warm index is not the inverse of rank");
     }
 
     /// The BestEffort strategy: the requester's own best eligible task.
@@ -658,12 +1139,15 @@ impl ICrowd {
             kind,
             deadline,
         });
+        self.lease_queue.push(Reverse((deadline.0, worker.0)));
         if kind == AssignmentKind::Regular {
             if self.inflight_workers.len() <= task.index() {
                 self.inflight_workers.resize(task.index() + 1, Vec::new());
             }
             self.inflight_workers[task.index()].push(worker);
             self.regular_assignments[worker.index()] += 1;
+            debug_assert!(self.rem_cap[task.index()] > 0, "assigned a full task");
+            self.rem_cap[task.index()] -= 1;
         }
     }
 }
@@ -679,15 +1163,19 @@ impl ExternalQuestionServer for ICrowd {
             return None;
         }
         self.expire_leases(now);
+        #[cfg(debug_assertions)]
+        self.validate_incremental_state();
 
         // Idempotent re-request: hand back the task already in flight,
-        // renewing its lease — the worker just proved she is alive.
+        // renewing its lease — the worker just proved she is alive. The
+        // renewed deadline is re-queued; the old entry goes stale.
         let lease_len = self.lease_len();
-        if let Some(lease) = self.in_flight[worker.index()].as_mut() {
-            lease.deadline = Tick(now.0 + lease_len);
-            let task = lease.task;
+        if let Some(lease) = self.in_flight[worker.index()] {
+            let deadline = Tick(now.0 + lease_len);
+            self.in_flight[worker.index()] = Some(Lease { deadline, ..lease });
+            self.lease_queue.push(Reverse((deadline.0, worker.0)));
             icrowd_obs::counter_add("assign.repeat", 1);
-            return Some(task);
+            return Some(lease.task);
         }
 
         // Warm-up: qualification microtasks first.
@@ -761,6 +1249,9 @@ impl ExternalQuestionServer for ICrowd {
                     .expect("qualification tasks carry ground truth");
                 self.estimator
                     .record_qualification(worker, task, answer, truth);
+                // The qualification answer shifted this worker's
+                // baseline, which re-scores all her cells at once.
+                self.refresh_worker_rank(worker);
                 self.warmup.advance(worker);
                 if self.estimator.should_reject(worker) {
                     self.activity.reject(worker);
@@ -771,6 +1262,10 @@ impl ExternalQuestionServer for ICrowd {
                 if let Some(v) = self.inflight_workers.get_mut(task.index()) {
                     v.retain(|&x| x != worker);
                 }
+                // The lease's capacity hold is released here; a recorded
+                // vote below re-takes it, so the counter nets to zero on
+                // the accept path and +1 on every reject path.
+                self.rem_cap[task.index()] += 1;
                 // The task reached consensus while this answer was in
                 // flight (another worker's vote closed it, or early
                 // stopping preset it): the late answer is moot.
@@ -780,6 +1275,7 @@ impl ExternalQuestionServer for ICrowd {
                 let vote = Vote { worker, answer };
                 match self.consensus.record(task, vote) {
                     Ok(_newly_completed) => {
+                        self.rem_cap[task.index()] -= 1;
                         self.activity.record_completion(worker);
                         // Budget-saving extension: complete early when the
                         // posterior under current estimates is confident,
@@ -805,14 +1301,22 @@ impl ExternalQuestionServer for ICrowd {
                         if self.consensus.is_completed(task) {
                             icrowd_obs::counter_add("consensus.completed", 1);
                             self.open.remove(&task.0);
+                            self.purge_closed_candidate(task);
                             if self.strategy != AssignStrategy::QfOnly {
                                 let consensus_ans = self
                                     .consensus
                                     .consensus(task)
                                     .expect("completed task has consensus");
                                 let votes = self.consensus.votes(task).votes().to_vec();
-                                self.estimator
-                                    .record_completed_task(task, &votes, consensus_ans);
+                                if self.capped() {
+                                    self.record_completion_capped(task, &votes, consensus_ans);
+                                } else {
+                                    self.estimator.record_completed_task(
+                                        task,
+                                        &votes,
+                                        consensus_ans,
+                                    );
+                                }
                             }
                         }
                         SubmitOutcome::Accepted
@@ -1160,6 +1664,47 @@ mod tests {
                 tick += 1;
             }
         }
+        srv.validate_incremental_state();
+    }
+
+    #[test]
+    fn rotating_sampler_counts_only_fresh_insertions() {
+        let mut srv = setup(AssignStrategy::Adapt, 1);
+        // One qualification task is preset, so 5 open tasks remain.
+        // Pre-pool the first three open ids so the cursor window overlaps
+        // the existing pool (as influence-support candidates do).
+        let open: Vec<u32> = srv.open.iter().copied().collect();
+        assert_eq!(open.len(), 5);
+        let mut cand: BTreeSet<u32> = open[..3].iter().copied().collect();
+        srv.open_cursor = 0;
+        srv.sample_open_into(&mut cand, 2, false);
+        assert_eq!(
+            cand.len(),
+            5,
+            "pre-pooled tasks under the cursor must not consume the budget"
+        );
+    }
+
+    #[test]
+    fn rotating_sampler_terminates_when_everything_is_pooled() {
+        let mut srv = setup(AssignStrategy::Adapt, 1);
+        let mut cand: BTreeSet<u32> = srv.open.iter().copied().collect();
+        let before = cand.len();
+        srv.open_cursor = 2;
+        srv.sample_open_into(&mut cand, 3, false);
+        assert_eq!(cand.len(), before, "no fresh task exists; must not spin");
+    }
+
+    #[test]
+    fn rotating_sampler_skips_full_tasks_when_asked() {
+        let mut srv = setup(AssignStrategy::Adapt, 1);
+        let open: Vec<u32> = srv.open.iter().copied().collect();
+        srv.rem_cap[open[0] as usize] = 0;
+        let mut cand = BTreeSet::new();
+        srv.open_cursor = 0;
+        srv.sample_open_into(&mut cand, open.len(), true);
+        assert!(!cand.contains(&open[0]), "full task must be skipped");
+        assert_eq!(cand.len(), open.len() - 1);
     }
 
     use icrowd_core::worker::WorkerId;

@@ -74,6 +74,16 @@ fn disabled_telemetry_allocates_nothing_per_span() {
         // a child span drop without touching the registry or the heap.
         let _t = icrowd_obs::trace_begin(i + 1, "serve.rpc.request");
         let _c = icrowd_obs::TraceSpan::start("engine.request");
+        // The rejection path counts through static names — no format!
+        // allocation even with every reason exercised.
+        for reason in [
+            icrowd_platform::events::RejectReason::NotAssigned,
+            icrowd_platform::events::RejectReason::Duplicate,
+            icrowd_platform::events::RejectReason::LeaseExpired,
+            icrowd_platform::events::RejectReason::TaskCompleted,
+        ] {
+            icrowd_obs::counter_add(reason.counter_name(), 1);
+        }
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     MEASURING.with(|m| m.set(false));

@@ -36,6 +36,18 @@ impl RejectReason {
             RejectReason::TaskCompleted => "task_completed",
         }
     }
+
+    /// The full telemetry counter name for this rejection, as a static
+    /// string so the disabled-telemetry path never allocates (the obs
+    /// crate's `noop_alloc` test covers every one of these).
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            RejectReason::NotAssigned => "answer.rejected.not_assigned",
+            RejectReason::Duplicate => "answer.rejected.duplicate",
+            RejectReason::LeaseExpired => "answer.rejected.lease_expired",
+            RejectReason::TaskCompleted => "answer.rejected.task_completed",
+        }
+    }
 }
 
 /// One marketplace event.
@@ -352,6 +364,18 @@ mod tests {
         let parsed = EventLog::from_json_lines(&text).unwrap();
         assert_eq!(parsed.events(), log.events());
         assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn reject_counter_names_match_the_dynamic_scheme() {
+        for r in [
+            RejectReason::NotAssigned,
+            RejectReason::Duplicate,
+            RejectReason::LeaseExpired,
+            RejectReason::TaskCompleted,
+        ] {
+            assert_eq!(r.counter_name(), format!("answer.rejected.{}", r.name()));
+        }
     }
 
     #[test]

@@ -264,7 +264,7 @@ fn op_from_value(v: &Value) -> Option<JournalOp> {
         "poll" => {
             let worker = str_field(v, "w")?.to_owned();
             let tag = match str_field(v, "o")? {
-                "assigned" => PollTag::Assigned(u64_field(v, "task")? as u32),
+                "assigned" => PollTag::Assigned(u32::try_from(u64_field(v, "task")?).ok()?),
                 "wait" => PollTag::Wait,
                 "declined_retry" => PollTag::DeclinedRetry,
                 "declined_left" => PollTag::DeclinedLeft,
@@ -275,8 +275,8 @@ fn op_from_value(v: &Value) -> Option<JournalOp> {
         }
         "submit" => Some(JournalOp::Submit {
             worker: str_field(v, "w")?.to_owned(),
-            task: u64_field(v, "task")? as u32,
-            answer: u64_field(v, "a")? as u8,
+            task: u32::try_from(u64_field(v, "task")?).ok()?,
+            answer: u8::try_from(u64_field(v, "a")?).ok()?,
             verdict: str_field(v, "v")?.to_owned(),
         }),
         "pump" => Some(JournalOp::Pump),
@@ -300,7 +300,7 @@ fn accounting_from_value(v: &Value) -> Option<MarketAccounting> {
 fn record_from_value(v: &Value) -> Option<JournalRecord> {
     match str_field(v, "t")? {
         "header" => Some(JournalRecord::Header(JournalHeader {
-            version: u64_field(v, "version")? as u32,
+            version: u32::try_from(u64_field(v, "version")?).ok()?,
             dataset: str_field(v, "dataset")?.to_owned(),
             approach: str_field(v, "approach")?.to_owned(),
             seed: u64_field(v, "seed")?,

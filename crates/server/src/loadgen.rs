@@ -670,7 +670,10 @@ fn cycle(
     let Some(task) = resp.get("task").and_then(Value::as_u64) else {
         return Cycle::Error("task response without task id".to_owned());
     };
-    let task = icrowd_core::task::TaskId(task as u32);
+    let Ok(task) = u32::try_from(task) else {
+        return Cycle::Error(format!("task id {task} out of range"));
+    };
+    let task = icrowd_core::task::TaskId(task);
 
     // One answer draw per assignment — the same call the in-process
     // harness makes, in the same schedule order. A re-issued assignment

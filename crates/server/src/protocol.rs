@@ -90,8 +90,14 @@ impl Request {
             },
             "SUBMIT_ANSWER" => Request::SubmitAnswer {
                 worker: str_field(&v, "worker")?,
-                task: TaskId(u64_field(&v, "task")? as u32),
-                answer: Answer(u64_field(&v, "answer")? as u8),
+                task: TaskId(
+                    u32::try_from(u64_field(&v, "task")?)
+                        .map_err(|_| "\"task\" out of range".to_owned())?,
+                ),
+                answer: Answer(
+                    u8::try_from(u64_field(&v, "answer")?)
+                        .map_err(|_| "\"answer\" out of range".to_owned())?,
+                ),
             },
             "STATUS" => Request::Status,
             "RESULTS" => Request::Results,

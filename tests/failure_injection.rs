@@ -249,7 +249,7 @@ proptest! {
             churn: vec![ChurnSpike { at: 10, fraction: churn_fraction }],
             ..Default::default()
         };
-        let outcome = market.run_with_faults(&mut srv, behaviors, Some(faults));
+        let outcome = market.run_with_faults(&mut srv, behaviors, Some(faults.clone()));
 
         prop_assert!(outcome.accounting.balanced(), "{:?}", outcome.accounting);
         prop_assert_eq!(
@@ -264,5 +264,43 @@ proptest! {
                 "task {t} holds more than k votes"
             );
         }
+        // Heap-based lease expiry and counter-based remaining capacity
+        // must match their swept/recomputed oracles after any fault mix.
+        srv.validate_incremental_state();
+
+        // Same fault plan against a capped-pool server: the incremental
+        // candidate caches must also survive drops, dups, expiries and
+        // churn without drifting from the estimator.
+        let ts2 = tasks(n);
+        let metric2 = MatrixSimilarity::from_edges(&ts2, &[], "empty");
+        let mut capped = ICrowdBuilder::new(ts2.clone())
+            .config(ICrowdConfig {
+                warmup: WarmupConfig {
+                    num_qualification: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .strategy(AssignStrategy::Adapt)
+            .metric(&metric2)
+            .candidate_limit(4)
+            .build();
+        let market2 = Marketplace::new(ts2, MarketConfig::default());
+        let behaviors2: Vec<(WorkerScript, Box<dyn WorkerBehavior>)> = (0..12)
+            .map(|i| {
+                (
+                    WorkerScript {
+                        arrival: Tick(i as u64),
+                        max_answers: 60,
+                        ticks_per_answer: 1,
+                    },
+                    Box::new(Truthful) as Box<dyn WorkerBehavior>,
+                )
+            })
+            .collect();
+        let outcome2 = market2.run_with_faults(&mut capped, behaviors2, Some(faults));
+        prop_assert!(outcome2.accounting.balanced(), "{:?}", outcome2.accounting);
+        prop_assert_eq!(outcome2.accounting.answers_rejected, capped.answers_rejected());
+        capped.validate_incremental_state();
     }
 }
